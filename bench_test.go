@@ -1,0 +1,345 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at a reduced scale (one per table/figure, named after it),
+// plus microbenchmarks and the ablations DESIGN.md calls out. Run the
+// full-size experiments with cmd/parapll-bench -scale 1.0.
+package parapll_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"parapll"
+	"parapll/internal/bench"
+	"parapll/internal/cluster"
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/landmark"
+	"parapll/internal/order"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+)
+
+// benchConfig is the reduced experiment grid used by the table/figure
+// benchmarks: small enough for `go test -bench=.`, wide enough to cover
+// every code path the full runs use.
+func benchConfig() bench.Config {
+	return bench.Config{
+		Scale:      0.01,
+		Datasets:   []string{"Wiki-Vote", "Gnutella", "DE-USA"},
+		Threads:    []int{1, 2, 4},
+		Nodes:      []int{1, 2, 3},
+		SyncCounts: []int{1, 4, 16},
+		Queries:    200,
+	}
+}
+
+func runTable(b *testing.B, run func(bench.Config) (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := table.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (static assignment policy).
+func BenchmarkTable3(b *testing.B) { runTable(b, bench.RunTable3) }
+
+// BenchmarkTable4 regenerates Table 4 (dynamic assignment policy).
+func BenchmarkTable4(b *testing.B) { runTable(b, bench.RunTable4) }
+
+// BenchmarkTable5 regenerates Table 5 (cluster scaling, c=1).
+func BenchmarkTable5(b *testing.B) {
+	runTable(b, func(cfg bench.Config) (*bench.Table, error) {
+		return bench.RunTable5(cfg, 2)
+	})
+}
+
+// BenchmarkFig5 regenerates Figure 5 (degree distributions).
+func BenchmarkFig5(b *testing.B) { runTable(b, bench.RunFig5) }
+
+// BenchmarkFig6 regenerates Figure 6 (label-addition CDFs).
+func BenchmarkFig6(b *testing.B) {
+	runTable(b, func(cfg bench.Config) (*bench.Table, error) {
+		return bench.RunFig6(cfg, 4)
+	})
+}
+
+// BenchmarkFig7 regenerates Figure 7 (sync-frequency sweep on a
+// 3-node simulated cluster with comm/comp breakdown).
+func BenchmarkFig7(b *testing.B) {
+	runTable(b, func(cfg bench.Config) (*bench.Table, error) {
+		return bench.RunFig7(cfg, 3, 1)
+	})
+}
+
+// BenchmarkQueryComparison regenerates the introduction's index-free vs
+// indexed query latency comparison.
+func BenchmarkQueryComparison(b *testing.B) {
+	runTable(b, func(cfg bench.Config) (*bench.Table, error) {
+		return bench.RunQueryComparison(cfg, 4)
+	})
+}
+
+// --- Microbenchmarks ---
+
+func epinions(b *testing.B, scale float64) *parapll.Graph {
+	b.Helper()
+	g, err := parapll.GenerateDataset("Epinions", scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkIndexQuery measures one indexed distance query.
+func BenchmarkIndexQuery(b *testing.B) {
+	g := epinions(b, 0.05)
+	idx := parapll.Build(g, parapll.Options{Policy: parapll.Dynamic})
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Query(parapll.Vertex(i%n), parapll.Vertex((i*31)%n))
+	}
+}
+
+// BenchmarkDirectQuery measures the index-free Dijkstra query baseline.
+func BenchmarkDirectQuery(b *testing.B) {
+	g := epinions(b, 0.05)
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parapll.QueryDirect(g, parapll.Vertex(i%n), parapll.Vertex((i*31)%n))
+	}
+}
+
+// BenchmarkBuildSerialVsParallel compares the indexing stage across
+// engines on one dataset.
+func BenchmarkBuildSerialVsParallel(b *testing.B) {
+	g := epinions(b, 0.02)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parapll.BuildSerial(g, parapll.Options{})
+		}
+	})
+	b.Run("parallel-static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parapll.Build(g, parapll.Options{Threads: 4, Policy: parapll.Static})
+		}
+	})
+	b.Run("parallel-dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parapll.Build(g, parapll.Options{Threads: 4, Policy: parapll.Dynamic})
+		}
+	})
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationStore compares the lock-free published-length label
+// store against the global-RWMutex alternative under parallel indexing.
+func BenchmarkAblationStore(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 17)
+	opt := core.Options{Threads: 4, Policy: core.Dynamic}
+	b.Run("lockfree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(g, opt)
+		}
+	})
+	b.Run("rwmutex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store := core.NewRWLockedStore(g.NumVertices())
+			core.BuildInto(g, store, opt)
+			store.Finalize()
+		}
+	})
+}
+
+// BenchmarkAblationHeap compares the indexed 4-ary decrease-key heap
+// against lazy-deletion binary heap inside the pruned Dijkstra.
+func BenchmarkAblationHeap(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 18)
+	b.Run("indexed-4ary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pll.Build(g, pll.Options{})
+		}
+	})
+	b.Run("lazy-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pll.Build(g, pll.Options{LazyHeap: true})
+		}
+	})
+}
+
+// BenchmarkAblationOrder compares computing-sequence policies by the
+// index size they produce (reported as entries/op) and their build time.
+func BenchmarkAblationOrder(b *testing.B) {
+	social := gen.ChungLu(2000, 8000, 2.2, 19)
+	road := gen.RoadGrid(45, 45, 3900, 19)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"social", social}, {"road", road}} {
+		for _, ord := range []struct {
+			name  string
+			order []graph.Vertex
+		}{
+			{"degree", order.Degree(tc.g)},
+			{"psi", order.PsiSample(tc.g, 8, 1)},
+			{"random", order.Random(tc.g, 1)},
+		} {
+			b.Run(tc.name+"/"+ord.name, func(b *testing.B) {
+				var entries int64
+				for i := 0; i < b.N; i++ {
+					idx := pll.Build(tc.g, pll.Options{Order: ord.order})
+					entries = idx.NumEntries()
+				}
+				b.ReportMetric(float64(entries), "entries")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationChunk compares dynamic-policy fetch granularities.
+func BenchmarkAblationChunk(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 20)
+	for _, chunk := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("chunk-%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic, Chunk: chunk})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRelabel compares the direct build against the
+// rank-relabeled build (hub ids become small dense ints — locality and
+// compression win, at the cost of two relabeling passes).
+func BenchmarkAblationRelabel(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 26)
+	opt := core.Options{Threads: 4, Policy: core.Dynamic}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(g, opt)
+		}
+	})
+	b.Run("rank-relabeled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.BuildRelabeled(g, opt)
+		}
+	})
+}
+
+// BenchmarkAblationPartition compares inter-node partition strategies by
+// per-node work skew on a simulated 4-node cluster (the paper fixes
+// round-robin; blocks concentrate hub roots on node 0).
+func BenchmarkAblationPartition(b *testing.B) {
+	g := gen.ChungLu(1500, 6000, 2.2, 22)
+	for _, p := range []cluster.Partition{
+		cluster.PartitionRoundRobin, cluster.PartitionBlocks, cluster.PartitionRandom,
+	} {
+		b.Run(p.String(), func(b *testing.B) {
+			var skew float64
+			for i := 0; i < b.N; i++ {
+				_, sts, err := cluster.RunLocal(g, 4, cluster.Options{
+					Threads: 1, SyncCount: 1, Partition: p, Seed: 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var max, sum int64
+				for _, s := range sts {
+					sum += s.WorkOps
+					if s.WorkOps > max {
+						max = s.WorkOps
+					}
+				}
+				skew = float64(max) * 4 / float64(sum)
+			}
+			b.ReportMetric(skew, "work-skew") // 1.0 = perfectly balanced
+		})
+	}
+}
+
+// BenchmarkLandmarkVsPLL compares the approximate landmark baseline
+// (the paper's [18]) against the exact 2-hop index: build time, query
+// time, and (for landmarks) the mean relative overestimate.
+func BenchmarkLandmarkVsPLL(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 25)
+	n := g.NumVertices()
+	b.Run("build/pll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic})
+		}
+	})
+	b.Run("build/landmark-16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			landmark.Build(g, landmark.Options{K: 16, Strategy: landmark.SelectDegree})
+		}
+	})
+	idx := core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic})
+	lm := landmark.Build(g, landmark.Options{K: 16, Strategy: landmark.SelectDegree})
+	b.Run("query/pll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.Query(graph.Vertex(i%n), graph.Vertex((i*31)%n))
+		}
+	})
+	b.Run("query/landmark-16", func(b *testing.B) {
+		var overestimate, count float64
+		for i := 0; i < b.N; i++ {
+			s, t := graph.Vertex(i%n), graph.Vertex((i*31)%n)
+			approx := lm.Upper(s, t)
+			if i < 1000 { // bound the exactness audit
+				exact := idx.Query(s, t)
+				if exact != graph.Inf && exact > 0 {
+					overestimate += float64(approx-exact) / float64(exact)
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			b.ReportMetric(overestimate/count, "rel-err")
+		}
+	})
+}
+
+// BenchmarkAblationPruneQuery compares the hub-scatter prune query used
+// during construction (via a normal build) against a no-pruning build
+// (what the index would cost without PLL's pruning): plain Dijkstra from
+// every root, measured through label volume.
+func BenchmarkAblationPruneQuery(b *testing.B) {
+	g := gen.ChungLu(800, 3200, 2.2, 21)
+	b.Run("pruned", func(b *testing.B) {
+		var entries int64
+		for i := 0; i < b.N; i++ {
+			entries = pll.Build(g, pll.Options{}).NumEntries()
+		}
+		b.ReportMetric(float64(entries), "entries")
+	})
+	b.Run("unpruned-full-dijkstra", func(b *testing.B) {
+		var entries int64
+		for i := 0; i < b.N; i++ {
+			// Full APSP labeling: every vertex labels every reachable
+			// vertex. This is the O(n^2) strawman the paper's intro
+			// dismisses.
+			lists := make([][]label.Entry, g.NumVertices())
+			for v := 0; v < g.NumVertices(); v++ {
+				d := sssp.Dijkstra(g, graph.Vertex(v))
+				for u, du := range d {
+					if du != graph.Inf {
+						lists[u] = append(lists[u], label.Entry{Hub: graph.Vertex(v), D: du})
+					}
+				}
+			}
+			entries = label.NewIndexFromLists(lists).NumEntries()
+		}
+		b.ReportMetric(float64(entries), "entries")
+	})
+}

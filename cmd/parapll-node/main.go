@@ -1,0 +1,141 @@
+// parapll-node runs one rank of a real multi-process ParaPLL cluster over
+// TCP, or — with -launch — spawns a whole local cluster of itself.
+//
+// Distributed usage (one command per machine/process):
+//
+//	parapll-node -rank 0 -size 3 -root 10.0.0.1:7777 -graph g.bin -out g.idx
+//	parapll-node -rank 1 -size 3 -root 10.0.0.1:7777 -graph g.bin
+//	parapll-node -rank 2 -size 3 -root 10.0.0.1:7777 -graph g.bin
+//
+// Local-cluster usage (spawns size-1 child processes):
+//
+//	parapll-node -launch -size 4 -graph g.bin -out g.idx
+//
+// Every rank builds the identical cluster-wide index; only ranks given
+// -out write it to disk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"parapll"
+	"parapll/internal/cluster"
+	"parapll/internal/core"
+	"parapll/internal/mpi"
+	"parapll/internal/order"
+)
+
+func main() {
+	var (
+		rank      = flag.Int("rank", 0, "this process's rank in [0,size)")
+		size      = flag.Int("size", 1, "number of cluster nodes")
+		rootAddr  = flag.String("root", "127.0.0.1:7777", "rendezvous address rank 0 listens on")
+		graphPath = flag.String("graph", "", "graph file (same on every rank)")
+		out       = flag.String("out", "", "write the final index here (optional)")
+		threads   = flag.Int("threads", 0, "worker threads per node (0 = all cores)")
+		policy    = flag.String("policy", "dynamic", "intra-node policy: static or dynamic")
+		syncCount = flag.Int("syncs", 1, "number of label synchronizations (paper's c)")
+		launch    = flag.Bool("launch", false, "spawn size-1 child ranks locally and run as rank 0")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatalf("need -graph")
+	}
+	pol := core.Dynamic
+	switch *policy {
+	case "dynamic":
+	case "static":
+		pol = core.Static
+	default:
+		fatalf("unknown policy %q", *policy)
+	}
+
+	if *launch {
+		if *rank != 0 {
+			fatalf("-launch implies rank 0")
+		}
+		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount); err != nil {
+			fatalf("launching children: %v", err)
+		}
+	}
+
+	g, err := parapll.LoadGraph(*graphPath)
+	if err != nil {
+		fatalf("loading graph: %v", err)
+	}
+	comm, err := mpi.ConnectTCP(*rank, *size, *rootAddr, "")
+	if err != nil {
+		fatalf("joining cluster: %v", err)
+	}
+	defer comm.Close()
+	fmt.Fprintf(os.Stderr, "rank %d/%d up (graph n=%d m=%d)\n", *rank, *size, g.NumVertices(), g.NumEdges())
+
+	t0 := time.Now()
+	idx, st, err := cluster.Build(g, cluster.Options{
+		Comm:      comm,
+		Threads:   *threads,
+		Policy:    pol,
+		Order:     order.Degree(g),
+		SyncCount: *syncCount,
+	})
+	if err != nil {
+		fatalf("indexing: %v", err)
+	}
+	fmt.Printf("rank %d: indexed in %.2fs (comp %.2fs, comm %.2fs, %d local roots, sent %d bytes) LN=%.1f\n",
+		*rank, time.Since(t0).Seconds(), st.CompTime.Seconds(), st.CommTime.Seconds(),
+		st.LocalRoots, st.BytesSent, idx.AvgLabelSize())
+
+	if *out != "" {
+		if err := parapll.SaveIndex(*out, idx); err != nil {
+			fatalf("saving index: %v", err)
+		}
+		fmt.Printf("rank %d: index -> %s\n", *rank, *out)
+	}
+}
+
+// launchChildren starts ranks 1..size-1 as child processes of this binary
+// and returns immediately; the caller continues as rank 0. Children
+// inherit stdout/stderr.
+func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int) error {
+	if size < 2 {
+		return nil
+	}
+	if _, _, err := net.SplitHostPort(rootAddr); err != nil {
+		return fmt.Errorf("bad -root %q: %v", rootAddr, err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	for r := 1; r < size; r++ {
+		cmd := exec.Command(self,
+			"-rank", fmt.Sprint(r),
+			"-size", fmt.Sprint(size),
+			"-root", rootAddr,
+			"-graph", graphPath,
+			"-threads", fmt.Sprint(threads),
+			"-policy", policy,
+			"-syncs", fmt.Sprint(syncs),
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+		// Children are intentionally not waited on: each exits after the
+		// collective build completes, and rank 0's own completion implies
+		// theirs (the final allgather is a synchronization point).
+		go cmd.Wait()
+	}
+	return nil
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "parapll-node: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// parapll-query runs the querying stage: it loads an index built by
+// parapll-index and answers distance queries — explicit pairs, a random
+// batch with latency statistics, or a verification pass against Dijkstra.
+//
+// Usage:
+//
+//	parapll-query -index g.idx -pair 17,2042 -pair 5,9
+//	parapll-query -index g.idx -random 10000
+//	parapll-query -index g.idx -graph g.bin -verify 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"parapll"
+	"parapll/internal/stats"
+)
+
+type pairList [][2]parapll.Vertex
+
+func (p *pairList) String() string { return fmt.Sprint(*p) }
+func (p *pairList) Set(s string) error {
+	var a, b int64
+	if _, err := fmt.Sscanf(s, "%d,%d", &a, &b); err != nil {
+		return fmt.Errorf("want S,T: %v", err)
+	}
+	*p = append(*p, [2]parapll.Vertex{parapll.Vertex(a), parapll.Vertex(b)})
+	return nil
+}
+
+func main() {
+	var pairs pairList
+	var (
+		indexPath = flag.String("index", "", "index file from parapll-index")
+		graphPath = flag.String("graph", "", "graph file (needed for -verify)")
+		random    = flag.Int("random", 0, "time N random queries and print latency stats")
+		verify    = flag.Int("verify", 0, "cross-check N random sources against Dijkstra")
+		seed      = flag.Int64("seed", 1, "seed for -random/-verify")
+	)
+	flag.Var(&pairs, "pair", "query pair S,T (repeatable)")
+	flag.Parse()
+	if *indexPath == "" {
+		fatalf("need -index")
+	}
+	idx, err := parapll.LoadIndex(*indexPath)
+	if err != nil {
+		fatalf("loading index: %v", err)
+	}
+	n := idx.NumVertices()
+	fmt.Printf("index: n=%d entries=%d LN=%.1f\n", n, idx.NumEntries(), idx.AvgLabelSize())
+
+	for _, p := range pairs {
+		if int(p[0]) >= n || int(p[1]) >= n || p[0] < 0 || p[1] < 0 {
+			fatalf("pair %d,%d out of range [0,%d)", p[0], p[1], n)
+		}
+		d := idx.Query(p[0], p[1])
+		if d == parapll.Inf {
+			fmt.Printf("d(%d,%d) = unreachable\n", p[0], p[1])
+		} else {
+			fmt.Printf("d(%d,%d) = %d\n", p[0], p[1], d)
+		}
+	}
+
+	if *random > 0 {
+		r := rand.New(rand.NewSource(*seed))
+		qs := make([][2]parapll.Vertex, *random)
+		for i := range qs {
+			qs[i] = [2]parapll.Vertex{parapll.Vertex(r.Intn(n)), parapll.Vertex(r.Intn(n))}
+		}
+		lat := make([]float64, len(qs))
+		for i, q := range qs {
+			t0 := time.Now()
+			idx.Query(q[0], q[1])
+			lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e3
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("%d random queries: mean %.3fus  p50 %.3fus  p99 %.3fus  max %.3fus\n",
+			s.N, s.Mean, stats.Percentile(lat, 50), stats.Percentile(lat, 99), s.Max)
+	}
+
+	if *verify > 0 {
+		if *graphPath == "" {
+			fatalf("-verify needs -graph")
+		}
+		g, err := parapll.LoadGraph(*graphPath)
+		if err != nil {
+			fatalf("loading graph: %v", err)
+		}
+		if g.NumVertices() != n {
+			fatalf("graph has %d vertices, index has %d", g.NumVertices(), n)
+		}
+		r := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *verify; i++ {
+			s := parapll.Vertex(r.Intn(n))
+			want := parapll.Dijkstra(g, s)
+			for probe := 0; probe < 32; probe++ {
+				u := parapll.Vertex(r.Intn(n))
+				if got := idx.Query(s, u); got != want[u] {
+					fatalf("MISMATCH: d(%d,%d) index=%d dijkstra=%d", s, u, got, want[u])
+				}
+			}
+		}
+		fmt.Printf("verified %d random sources x 32 targets against Dijkstra: all exact\n", *verify)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "parapll-query: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// parapll-server serves a built index as an HTTP JSON API — distance
+// queries, batches, optional path reconstruction, and stats.
+//
+// Usage:
+//
+//	parapll-server -index g.idx -addr :8080
+//	parapll-server -graph g.bin -addr :8080            # index on startup
+//	parapll-server -graph g.bin -paths -addr :8080     # also serve /path
+//
+// Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=   GET /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"parapll"
+	"parapll/internal/core"
+	"parapll/internal/fileio"
+	"parapll/internal/pathidx"
+	"parapll/internal/server"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "", "pre-built index file (from parapll-index)")
+		graphPath = flag.String("graph", "", "graph file; indexed at startup if -index is not given")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		threads   = flag.Int("threads", 0, "indexing threads (0 = all cores)")
+		paths     = flag.Bool("paths", false, "also build a path index and serve /path (needs -graph)")
+	)
+	flag.Parse()
+
+	var idx *parapll.Index
+	var err error
+	switch {
+	case *indexPath != "":
+		idx, err = fileio.LoadIndex(*indexPath)
+		if err != nil {
+			fatalf("loading index: %v", err)
+		}
+	case *graphPath != "":
+		g, err := parapll.LoadGraph(*graphPath)
+		if err != nil {
+			fatalf("loading graph: %v", err)
+		}
+		t0 := time.Now()
+		idx = parapll.Build(g, parapll.Options{Threads: *threads, Policy: parapll.Dynamic})
+		fmt.Printf("indexed %d vertices in %.2fs\n", g.NumVertices(), time.Since(t0).Seconds())
+	default:
+		fatalf("need -index or -graph")
+	}
+
+	var pidx *pathidx.Index
+	if *paths {
+		if *graphPath == "" {
+			fatalf("-paths needs -graph")
+		}
+		g, err := parapll.LoadGraph(*graphPath)
+		if err != nil {
+			fatalf("loading graph: %v", err)
+		}
+		t0 := time.Now()
+		pidx = pathidx.Build(g, pathidx.Options{Threads: *threads, Policy: core.Dynamic})
+		fmt.Printf("path index built in %.2fs\n", time.Since(t0).Seconds())
+	}
+
+	fmt.Printf("serving on http://%s  (n=%d, entries=%d, LN=%.1f, paths=%v)\n",
+		*addr, idx.NumVertices(), idx.NumEntries(), idx.AvgLabelSize(), pidx != nil)
+	if err := http.ListenAndServe(*addr, server.New(idx, pidx)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "parapll-server: "+format+"\n", args...)
+	os.Exit(1)
+}

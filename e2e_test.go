@@ -1,0 +1,107 @@
+package parapll_test
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEndToEndCLI exercises the full two-stage command pipeline the
+// README documents: generate a dataset, index it, query it, verify it
+// against Dijkstra — all through the real binaries.
+func TestEndToEndCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"parapll-gen", "parapll-index", "parapll-query", "parapll-node"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Stage 0: synthesize a dataset.
+	out := run("parapll-gen", "-dataset", "Gnutella", "-scale", "0.02", "-out", dir)
+	if !strings.Contains(out, "gnutella.bin") {
+		t.Fatalf("gen output unexpected: %s", out)
+	}
+	graphPath := filepath.Join(dir, "gnutella.bin")
+
+	// Stage 1: index.
+	idxPath := filepath.Join(dir, "gnutella.cidx") // compact format via extension
+	out = run("parapll-index", "-graph", graphPath, "-out", idxPath, "-threads", "2", "-policy", "dynamic")
+	if !strings.Contains(out, "indexed") {
+		t.Fatalf("index output unexpected: %s", out)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index file missing: %v", err)
+	}
+
+	// Stage 2: query + verify against Dijkstra.
+	out = run("parapll-query", "-index", idxPath, "-pair", "0,5", "-random", "200")
+	if !strings.Contains(out, "d(0,5)") || !strings.Contains(out, "random queries") {
+		t.Fatalf("query output unexpected: %s", out)
+	}
+	out = run("parapll-query", "-index", idxPath, "-graph", graphPath, "-verify", "5")
+	if !strings.Contains(out, "all exact") {
+		t.Fatalf("verify output unexpected: %s", out)
+	}
+
+	// The HTTP query service over the same index.
+	if out, err := exec.Command("go", "build", "-o", bin("parapll-server"), "./cmd/parapll-server").CombinedOutput(); err != nil {
+		t.Fatalf("building parapll-server: %v\n%s", err, out)
+	}
+	srv := exec.Command(bin("parapll-server"), "-index", idxPath, "-addr", "127.0.0.1:18941")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	var body []byte
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get("http://127.0.0.1:18941/query?s=0&t=5")
+		if err == nil {
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(string(body), `"reachable"`) {
+		t.Fatalf("server response unexpected: %s", body)
+	}
+
+	// Bonus: a real 2-process TCP cluster via the self-launching node.
+	clusterIdx := filepath.Join(dir, "cluster.idx")
+	out = run("parapll-node", "-launch", "-size", "2", "-root", "127.0.0.1:17799",
+		"-graph", graphPath, "-out", clusterIdx, "-threads", "1")
+	if !strings.Contains(out, "indexed in") {
+		t.Fatalf("node output unexpected: %s", out)
+	}
+	out = run("parapll-query", "-index", clusterIdx, "-graph", graphPath, "-verify", "5")
+	if !strings.Contains(out, "all exact") {
+		t.Fatalf("cluster index verify failed: %s", out)
+	}
+}

@@ -1,0 +1,97 @@
+// Online growing graph: a trust network keeps gaining edges while the
+// distance service stays up. BuildDynamic repairs the index per
+// insertion (microseconds to milliseconds) instead of rebuilding
+// (the full indexing cost), and every answer stays exact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"parapll"
+)
+
+func main() {
+	const scale = 0.05
+	g, err := parapll.GenerateDataset("Wiki-Vote", scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: %d users, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	t0 := time.Now()
+	dx := parapll.BuildDynamic(g, parapll.Options{})
+	buildTime := time.Since(t0)
+	fmt.Printf("indexed in %v (%d entries)\n", buildTime, dx.NumEntries())
+
+	// New trust relationships arrive while queries keep flowing.
+	r := rand.New(rand.NewSource(11))
+	n := g.NumVertices()
+	const inserts = 200
+	t1 := time.Now()
+	applied := 0
+	for applied < inserts {
+		u := parapll.Vertex(r.Intn(n))
+		v := parapll.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := dx.InsertEdge(u, v, parapll.Dist(1+r.Intn(8))); err != nil {
+			log.Fatal(err)
+		}
+		applied++
+	}
+	perInsert := time.Since(t1) / inserts
+	fmt.Printf("%d edge insertions at %v each (rebuild would cost %v each)\n",
+		inserts, perInsert, buildTime)
+
+	// Verify a sample of queries against Dijkstra on the grown graph.
+	grown := growGraph(g, dx)
+	bad := 0
+	for q := 0; q < 300; q++ {
+		s := parapll.Vertex(r.Intn(n))
+		u := parapll.Vertex(r.Intn(n))
+		if dx.Query(s, u) != parapll.QueryDirect(grown, s, u) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d mismatches after growth", bad)
+	}
+	fmt.Println("300 spot checks against Dijkstra on the grown graph: all exact")
+}
+
+// growGraph reconstructs the current graph for verification: the dynamic
+// index answered from its own overlay, so rebuild an equivalent static
+// graph by querying neighbor distances... simpler: re-add the edges we
+// inserted. For the demo we reconstruct from the index's exact one-hop
+// answers over the original topology plus sampling; in tests the library
+// does this rigorously — here we just rebuild from the recorded edges.
+func growGraph(base *parapll.Graph, dx *parapll.DynamicIndex) *parapll.Graph {
+	// The dynamic index doesn't expose its overlay; replay the same
+	// pseudo-random insertion sequence instead.
+	r := rand.New(rand.NewSource(11))
+	n := base.NumVertices()
+	edges := make([]parapll.Edge, 0, base.NumEdges()+200)
+	for v := parapll.Vertex(0); int(v) < n; v++ {
+		ns, ws := base.Neighbors(v)
+		for i, u := range ns {
+			if v < u {
+				edges = append(edges, parapll.Edge{U: v, V: u, W: ws[i]})
+			}
+		}
+	}
+	applied := 0
+	for applied < 200 {
+		u := parapll.Vertex(r.Intn(n))
+		v := parapll.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, parapll.Edge{U: u, V: v, W: parapll.Dist(1 + r.Intn(8))})
+		applied++
+	}
+	return parapll.NewGraph(n, edges)
+}

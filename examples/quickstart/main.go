@@ -1,0 +1,47 @@
+// Quickstart: build a tiny weighted graph, index it with ParaPLL, and
+// answer distance queries — the whole two-stage workflow in 40 lines.
+package main
+
+import (
+	"fmt"
+
+	"parapll"
+)
+
+func main() {
+	// A small city map: 6 intersections, weighted road segments.
+	//
+	//      (1)--2--(2)
+	//     / |       | \
+	//    4  1       3  1
+	//   /   |       |   \
+	// (0)   (3)--2--(4)  (5)
+	//   \___________7____/
+	g := parapll.NewGraph(6, []parapll.Edge{
+		{U: 0, V: 1, W: 4},
+		{U: 1, V: 2, W: 2},
+		{U: 1, V: 3, W: 1},
+		{U: 2, V: 4, W: 3},
+		{U: 2, V: 5, W: 1},
+		{U: 3, V: 4, W: 2},
+		{U: 0, V: 5, W: 7},
+	})
+
+	// Indexing stage: parallel Pruned Landmark Labeling across all cores
+	// with the dynamic assignment policy (the paper's best configuration).
+	idx := parapll.Build(g, parapll.Options{Policy: parapll.Dynamic})
+	fmt.Printf("indexed %d vertices: %d label entries, %.1f per vertex\n",
+		g.NumVertices(), idx.NumEntries(), idx.AvgLabelSize())
+
+	// Querying stage: exact distances in O(|L(s)|+|L(t)|).
+	for _, q := range [][2]parapll.Vertex{{0, 5}, {0, 4}, {3, 5}} {
+		d := idx.Query(q[0], q[1])
+		direct := parapll.QueryDirect(g, q[0], q[1]) // Dijkstra ground truth
+		fmt.Printf("d(%d,%d) = %d (dijkstra agrees: %v)\n", q[0], q[1], d, d == direct)
+	}
+
+	// QueryWithHub also names the meeting landmark — handy for debugging
+	// and path reconstruction.
+	d, hub := idx.QueryWithHub(0, 5)
+	fmt.Printf("d(0,5) = %d via hub %d\n", d, hub)
+}

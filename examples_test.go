@@ -1,0 +1,52 @@
+package parapll_test
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun smoke-tests every runnable example: each must build,
+// run to completion within a generous timeout, and exit cleanly. This
+// keeps the documentation honest as the API evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries; skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least 3 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example %s failed: %v\n%s", name, err, out)
+				}
+				if len(out) == 0 {
+					t.Fatalf("example %s produced no output", name)
+				}
+			case <-time.After(10 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+		})
+	}
+}

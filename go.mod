@@ -1,0 +1,3 @@
+module parapll
+
+go 1.22

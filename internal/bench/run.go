@@ -1,0 +1,436 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"parapll/internal/cluster"
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+	"parapll/internal/stats"
+)
+
+// Config selects which experiment grid to run. The zero value is not
+// usable; call DefaultConfig and override.
+type Config struct {
+	// Scale shrinks every dataset (vertices and edges) by this factor in
+	// (0,1]. 1.0 reproduces the paper's sizes; the default smoke scale
+	// keeps the full grid under a minute.
+	Scale float64
+	// Datasets filters Table-2 dataset names; nil means all eleven.
+	Datasets []string
+	// Threads is the intra-node sweep (paper: 1,2,4,6,8,10,12).
+	Threads []int
+	// Nodes is the cluster-size sweep (paper: 1..6).
+	Nodes []int
+	// SyncCounts is Figure 7's c sweep (paper: 1..128).
+	SyncCounts []int
+	// Queries is how many random (s,t) pairs the query experiment times.
+	Queries int
+}
+
+// DefaultConfig returns the paper's full sweep at the given scale.
+func DefaultConfig(scale float64) Config {
+	return Config{
+		Scale:      scale,
+		Threads:    []int{1, 2, 4, 6, 8, 10, 12},
+		Nodes:      []int{1, 2, 3, 4, 5, 6},
+		SyncCounts: []int{1, 2, 4, 8, 16, 32, 64, 128},
+		Queries:    1000,
+	}
+}
+
+func (c Config) recipes() ([]gen.Recipe, error) {
+	if c.Datasets == nil {
+		return gen.Datasets, nil
+	}
+	out := make([]gen.Recipe, 0, len(c.Datasets))
+	for _, name := range c.Datasets {
+		rec, err := gen.FindRecipe(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func timed(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// simulateMakespan schedules the measured per-root works onto p workers
+// under the given assignment policy and returns the busiest worker's
+// load — the projected parallel completion time with one real core per
+// worker. Static deals round-robin by sequence position (Figure 2);
+// dynamic is work-conserving greedy: each root goes to the worker that
+// frees up first (Figure 3). This is exactly the model Proposition 2
+// reasons in, and it sidesteps the host's core count entirely.
+func simulateMakespan(works []int64, p int, policy core.Policy) int64 {
+	if p < 1 {
+		p = 1
+	}
+	load := make([]int64, p)
+	switch policy {
+	case core.Dynamic:
+		for _, w := range works {
+			min := 0
+			for i := 1; i < p; i++ {
+				if load[i] < load[min] {
+					min = i
+				}
+			}
+			load[min] += w
+		}
+	default: // static round-robin
+		for pos, w := range works {
+			load[pos%p] += w
+		}
+	}
+	var max int64
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// runIntraNode produces one Table 3 or Table 4 (policy chooses which).
+// sp_wall is the honest wall-clock ratio (bounded by the host's physical
+// cores — ~1 on a single-core container); sp_proj is the simulated
+// makespan speedup from measured per-root costs (see simulateMakespan).
+func runIntraNode(cfg Config, policy core.Policy, title string) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{"dataset", "n", "m", "pll_it_s", "pll_ln", "threads", "it_s", "sp_wall", "sp_proj", "ln"},
+	}
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		ord := graph.DegreeOrder(g)
+		var serialIdx *label.Index
+		var serialTrace pll.Trace
+		serialIT := timed(func() {
+			serialIdx = pll.Build(g, pll.Options{Order: ord, Trace: &serialTrace})
+		})
+		totalWork := serialTrace.TotalWork()
+		var baseIT time.Duration
+		for _, threads := range cfg.Threads {
+			var idx *label.Index
+			it := timed(func() {
+				idx = core.Build(g, core.Options{Threads: threads, Policy: policy, Order: ord})
+			})
+			if threads == cfg.Threads[0] {
+				baseIT = it
+			}
+			spProj := 1.0
+			if ms := simulateMakespan(serialTrace.WorkPerRoot, threads, policy); ms > 0 {
+				spProj = float64(totalWork) / float64(ms)
+			}
+			t.AddRow(
+				rec.Name,
+				fmt.Sprint(g.NumVertices()),
+				fmt.Sprint(g.NumEdges()),
+				stats.FormatDuration(serialIT),
+				fmt.Sprintf("%.1f", serialIdx.AvgLabelSize()),
+				fmt.Sprint(threads),
+				stats.FormatDuration(it),
+				fmt.Sprintf("%.2f", stats.Speedup(baseIT, it)),
+				fmt.Sprintf("%.2f", spProj),
+				fmt.Sprintf("%.1f", idx.AvgLabelSize()),
+			)
+		}
+	}
+	return t, nil
+}
+
+// RunTable3 regenerates Table 3: ParaPLL with the static assignment
+// policy vs. serial PLL across thread counts.
+func RunTable3(cfg Config) (*Table, error) {
+	return runIntraNode(cfg, core.Static,
+		"Table 3: ParaPLL (static assignment) vs PLL — IT = indexing time, SP = speedup vs 1 thread, LN = avg label size")
+}
+
+// RunTable4 regenerates Table 4: the dynamic assignment policy.
+func RunTable4(cfg Config) (*Table, error) {
+	return runIntraNode(cfg, core.Dynamic,
+		"Table 4: ParaPLL (dynamic assignment) vs PLL — IT = indexing time, SP = speedup vs 1 thread, LN = avg label size")
+}
+
+// RunTable5 regenerates Table 5: cluster scaling for 1..6 nodes with the
+// static and dynamic intra-node policies, one synchronization (c=1, the
+// paper's best configuration).
+func RunTable5(cfg Config, threadsPerNode int) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 5: ParaPLL cluster scaling (c=1 sync) — sp_proj = projected speedup vs 1 node, LN = avg label size (dynamic)",
+		Header: []string{"dataset", "nodes", "static_it_s", "static_sp_proj", "dynamic_it_s", "dynamic_sp_proj", "ln"},
+	}
+	maxNodeWork := func(sts []*cluster.Stats) int64 {
+		var max int64
+		for _, st := range sts {
+			if st.WorkOps > max {
+				max = st.WorkOps
+			}
+		}
+		return max
+	}
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		ord := graph.DegreeOrder(g)
+		var baseStaticWork, baseDynWork int64
+		for _, nodes := range cfg.Nodes {
+			var staticIT, dynIT time.Duration
+			var idxs []*label.Index
+			var staticStats, dynStats []*cluster.Stats
+			staticIT = timed(func() {
+				var err2 error
+				_, staticStats, err2 = cluster.RunLocal(g, nodes, cluster.Options{
+					Threads: threadsPerNode, Policy: core.Static, Order: ord, SyncCount: 1,
+				})
+				if err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			dynIT = timed(func() {
+				var err2 error
+				idxs, dynStats, err2 = cluster.RunLocal(g, nodes, cluster.Options{
+					Threads: threadsPerNode, Policy: core.Dynamic, Order: ord, SyncCount: 1,
+				})
+				if err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			if nodes == cfg.Nodes[0] {
+				baseStaticWork = maxNodeWork(staticStats)
+				baseDynWork = maxNodeWork(dynStats)
+			}
+			spProj := func(base int64, sts []*cluster.Stats) float64 {
+				if m := maxNodeWork(sts); m > 0 {
+					return float64(base) / float64(m)
+				}
+				return 1
+			}
+			t.AddRow(
+				rec.Name,
+				fmt.Sprint(nodes),
+				stats.FormatDuration(staticIT),
+				fmt.Sprintf("%.2f", spProj(baseStaticWork, staticStats)),
+				stats.FormatDuration(dynIT),
+				fmt.Sprintf("%.2f", spProj(baseDynWork, dynStats)),
+				fmt.Sprintf("%.1f", idxs[0].AvgLabelSize()),
+			)
+		}
+	}
+	return t, nil
+}
+
+// RunFig5 regenerates Figure 5: the complementary cumulative degree
+// distribution of every dataset (long format for plotting).
+func RunFig5(cfg Config) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 5: vertex degree distribution (CCDF, long format)",
+		Header: []string{"dataset", "degree", "ccdf"},
+	}
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		degs, frac := gen.DegreeCCDF(g)
+		for i := range degs {
+			t.AddRow(rec.Name, fmt.Sprint(degs[i]), fmt.Sprintf("%.6f", frac[i]))
+		}
+	}
+	return t, nil
+}
+
+// RunFig6 regenerates Figure 6: the cumulative fraction of all labels
+// added by the x-th Pruned Dijkstra, for serial PLL and ParaPLL under
+// both policies. Points are subsampled logarithmically for plotting.
+func RunFig6(cfg Config, threads int) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 6: cumulative distribution of labels added by the x-th Pruned Dijkstra",
+		Header: []string{"dataset", "variant", "x", "cdf"},
+	}
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		ord := graph.DegreeOrder(g)
+		variants := []struct {
+			name  string
+			trace pll.Trace
+		}{{name: "pll"}, {name: "parapll-static"}, {name: "parapll-dynamic"}}
+		pll.Build(g, pll.Options{Order: ord, Trace: &variants[0].trace})
+		core.Build(g, core.Options{Threads: threads, Policy: core.Static, Order: ord, Trace: &variants[1].trace})
+		core.Build(g, core.Options{Threads: threads, Policy: core.Dynamic, Order: ord, Trace: &variants[2].trace})
+		for _, v := range variants {
+			cdf := stats.CDF(v.trace.AddedPerRoot)
+			for _, x := range logPoints(len(cdf)) {
+				t.AddRow(rec.Name, v.name, fmt.Sprint(x+1), fmt.Sprintf("%.6f", cdf[x]))
+			}
+		}
+	}
+	return t, nil
+}
+
+// logPoints returns up to ~40 distinct indexes spread logarithmically
+// over [0,n), denser at the start where Figure 6's curve moves fastest.
+func logPoints(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var out []int
+	last := -1
+	for i := 0; i <= 40; i++ {
+		x := int(float64(n-1) * math.Pow(float64(n), float64(i)/40-1))
+		if x != last {
+			out = append(out, x)
+			last = x
+		}
+	}
+	return out
+}
+
+// RunFig7 regenerates Figure 7: how the synchronization count c affects
+// indexing time and label size on a fixed-size cluster, with the
+// communication/computation breakdown of subfigures (c) and (d).
+func RunFig7(cfg Config, nodes, threadsPerNode int) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7: sync frequency sweep on a %d-node cluster — total/comm/comp seconds and label size", nodes),
+		Header: []string{"dataset", "syncs", "it_s", "comm_s", "comp_s", "ln", "bytes_sent"},
+	}
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		ord := graph.DegreeOrder(g)
+		for _, c := range cfg.SyncCounts {
+			var idxs []*label.Index
+			var sts []*cluster.Stats
+			it := timed(func() {
+				var err2 error
+				idxs, sts, err2 = cluster.RunLocal(g, nodes, cluster.Options{
+					Threads: threadsPerNode, Policy: core.Dynamic, Order: ord, SyncCount: c,
+				})
+				if err2 != nil {
+					err = err2
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			var comm, comp time.Duration
+			var sent int64
+			for _, s := range sts {
+				if s.CommTime > comm {
+					comm = s.CommTime
+				}
+				if s.CompTime > comp {
+					comp = s.CompTime
+				}
+				sent += s.BytesSent
+			}
+			t.AddRow(
+				rec.Name,
+				fmt.Sprint(c),
+				stats.FormatDuration(it),
+				fmt.Sprintf("%.3f", comm.Seconds()),
+				fmt.Sprintf("%.3f", comp.Seconds()),
+				fmt.Sprintf("%.1f", idxs[0].AvgLabelSize()),
+				fmt.Sprint(sent),
+			)
+		}
+	}
+	return t, nil
+}
+
+// RunQueryComparison regenerates the introduction's motivation numbers:
+// per-query latency of index-free Dijkstra (and bidirectional Dijkstra)
+// vs. a PLL index lookup, plus the one-time indexing cost.
+func RunQueryComparison(cfg Config, threads int) (*Table, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Query latency: index-free Dijkstra vs 2-hop index lookup (mean over random pairs)",
+		Header: []string{"dataset", "index_build_s", "index_mb", "dijkstra_us", "bidij_us", "pll_query_us", "speedup_vs_dijkstra"},
+	}
+	rng := gen.NewRNG(42)
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		n := g.NumVertices()
+		var idx *label.Index
+		buildTime := timed(func() {
+			idx = core.Build(g, core.Options{Threads: threads, Policy: core.Dynamic})
+		})
+		pairs := make([][2]graph.Vertex, cfg.Queries)
+		for i := range pairs {
+			pairs[i] = [2]graph.Vertex{graph.Vertex(rng.Intn(n)), graph.Vertex(rng.Intn(n))}
+		}
+		// Index-free Dijkstra: cap the pair count, it is slow by design.
+		dijkstraPairs := pairs
+		if len(dijkstraPairs) > 50 {
+			dijkstraPairs = dijkstraPairs[:50]
+		}
+		dTime := timed(func() {
+			for _, p := range dijkstraPairs {
+				sssp.Query(g, p[0], p[1])
+			}
+		})
+		bTime := timed(func() {
+			for _, p := range dijkstraPairs {
+				sssp.BiQuery(g, p[0], p[1])
+			}
+		})
+		qTime := timed(func() {
+			for _, p := range pairs {
+				idx.Query(p[0], p[1])
+			}
+		})
+		dUS := dTime.Seconds() * 1e6 / float64(len(dijkstraPairs))
+		bUS := bTime.Seconds() * 1e6 / float64(len(dijkstraPairs))
+		qUS := qTime.Seconds() * 1e6 / float64(len(pairs))
+		su := 0.0
+		if qUS > 0 {
+			su = dUS / qUS
+		}
+		t.AddRow(
+			rec.Name,
+			stats.FormatDuration(buildTime),
+			fmt.Sprintf("%.3f", float64(idx.MemoryBytes())/(1<<20)),
+			fmt.Sprintf("%.1f", dUS),
+			fmt.Sprintf("%.1f", bUS),
+			fmt.Sprintf("%.3f", qUS),
+			fmt.Sprintf("%.0f", su),
+		)
+	}
+	return t, nil
+}

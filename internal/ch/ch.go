@@ -1,0 +1,302 @@
+// Package ch implements Contraction Hierarchies (Geisberger et al. 2008)
+// — the other canonical exact distance index, and the natural comparator
+// for hub labeling: CH indexes faster and smaller, PLL answers queries
+// faster. The paper's related work discusses hierarchy-based schemes
+// (TEDI, HCL) in exactly this trade-off space; this package makes the
+// comparison concrete in the benchmarks.
+//
+// Indexing contracts vertices in importance order (lazy edge-difference
+// heuristic): removing a vertex inserts shortcut edges preserving all
+// shortest paths among the remaining vertices, unless a bounded witness
+// search proves a shortcut unnecessary (the witness search is
+// conservative — cutting it short only adds redundant shortcuts, never
+// breaks exactness). A query runs two upward Dijkstras — from s and t,
+// relaxing only edges toward more important vertices — and takes the
+// best meeting vertex.
+package ch
+
+import (
+	"sort"
+
+	"parapll/internal/graph"
+	"parapll/internal/vheap"
+)
+
+// searchEdge is one directed upward edge of the final hierarchy.
+type searchEdge struct {
+	to graph.Vertex
+	w  graph.Dist
+}
+
+// Index is a built contraction hierarchy.
+type Index struct {
+	up    [][]searchEdge // up[v]: edges to higher-importance vertices
+	order []int32        // order[v]: contraction position (higher = more important)
+}
+
+// dynEdge is an adjacency entry during contraction.
+type dynEdge struct {
+	to graph.Vertex
+	w  graph.Dist
+}
+
+// Options tunes the construction.
+type Options struct {
+	// WitnessHops bounds the witness search (settled-vertex budget per
+	// contraction pair check). Larger finds more witnesses (fewer
+	// shortcuts, slower build); <= 0 means the default of 50.
+	WitnessLimit int
+}
+
+// Build constructs the hierarchy.
+func Build(g *graph.Graph, opt Options) *Index {
+	n := g.NumVertices()
+	witnessLimit := opt.WitnessLimit
+	if witnessLimit <= 0 {
+		witnessLimit = 50
+	}
+
+	// Mutable adjacency: start from g, grow with shortcuts. Parallel
+	// edges are fine; queries take minima.
+	adj := make([][]dynEdge, n)
+	for v := 0; v < n; v++ {
+		ns, ws := g.Neighbors(graph.Vertex(v))
+		adj[v] = make([]dynEdge, len(ns))
+		for i := range ns {
+			adj[v][i] = dynEdge{to: ns[i], w: ws[i]}
+		}
+	}
+	contracted := make([]bool, n)
+	deleted := make([]int32, n) // contracted-neighbor count (heuristic term)
+	order := make([]int32, n)
+
+	// simulateContract returns the shortcuts contracting v would need.
+	ws := newWitnessSearcher(n)
+	simulate := func(v graph.Vertex) []shortcut {
+		var shortcuts []shortcut
+		nbs := liveNeighbors(adj[v], contracted)
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				a, b := nbs[i], nbs[j]
+				if a.to == b.to {
+					continue
+				}
+				via := graph.AddDist(a.w, b.w)
+				if !ws.hasWitness(adj, contracted, v, a.to, b.to, via, witnessLimit) {
+					shortcuts = append(shortcuts, shortcut{u: a.to, v: b.to, w: via})
+				}
+			}
+		}
+		return shortcuts
+	}
+	priority := func(v graph.Vertex, nShortcuts int) int32 {
+		live := 0
+		for _, e := range adj[v] {
+			if !contracted[e.to] {
+				live++
+			}
+		}
+		return int32(2*nShortcuts-live) + 3*deleted[v]
+	}
+
+	// Lazy-update contraction loop: pop the cheapest vertex; if its
+	// recomputed priority no longer wins, push it back.
+	h := vheap.NewIndexed(n)
+	const bias = 1 << 20 // priorities can be negative; heap keys cannot
+	for v := 0; v < n; v++ {
+		sc := simulate(graph.Vertex(v))
+		h.Push(graph.Vertex(v), graph.Dist(priority(graph.Vertex(v), len(sc))+bias))
+	}
+	for pos := int32(0); h.Len() > 0; {
+		v, _ := h.Pop()
+		sc := simulate(v)
+		p := graph.Dist(priority(v, len(sc)) + bias)
+		if h.Len() > 0 {
+			if _, top := h.Peek(); p > top {
+				h.Push(v, p) // stale priority: re-queue and retry
+				continue
+			}
+		}
+		// Contract v.
+		order[v] = pos
+		pos++
+		contracted[v] = true
+		for _, e := range adj[v] {
+			if !contracted[e.to] {
+				deleted[e.to]++
+			}
+		}
+		for _, s := range sc {
+			adj[s.u] = append(adj[s.u], dynEdge{to: s.v, w: s.w})
+			adj[s.v] = append(adj[s.v], dynEdge{to: s.u, w: s.w})
+		}
+	}
+
+	// Build the upward search graph: keep edges toward higher order,
+	// collapsing parallels to their minimum.
+	x := &Index{up: make([][]searchEdge, n), order: order}
+	for v := 0; v < n; v++ {
+		best := make(map[graph.Vertex]graph.Dist)
+		for _, e := range adj[v] {
+			if order[e.to] > order[v] {
+				if cur, ok := best[e.to]; !ok || e.w < cur {
+					best[e.to] = e.w
+				}
+			}
+		}
+		edges := make([]searchEdge, 0, len(best))
+		for to, w := range best {
+			edges = append(edges, searchEdge{to: to, w: w})
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i].to < edges[j].to })
+		x.up[v] = edges
+	}
+	return x
+}
+
+type shortcut struct {
+	u, v graph.Vertex
+	w    graph.Dist
+}
+
+func liveNeighbors(edges []dynEdge, contracted []bool) []dynEdge {
+	// Collapse parallel edges to minima, skip contracted endpoints.
+	best := make(map[graph.Vertex]graph.Dist)
+	for _, e := range edges {
+		if contracted[e.to] {
+			continue
+		}
+		if cur, ok := best[e.to]; !ok || e.w < cur {
+			best[e.to] = e.w
+		}
+	}
+	out := make([]dynEdge, 0, len(best))
+	for to, w := range best {
+		out = append(out, dynEdge{to: to, w: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].to < out[j].to })
+	return out
+}
+
+// witnessSearcher runs bounded Dijkstras avoiding the contraction
+// candidate, reusing scratch arrays.
+type witnessSearcher struct {
+	dist    []graph.Dist
+	touched []graph.Vertex
+	heap    *vheap.Indexed
+}
+
+func newWitnessSearcher(n int) *witnessSearcher {
+	ws := &witnessSearcher{dist: make([]graph.Dist, n), heap: vheap.NewIndexed(n)}
+	for i := range ws.dist {
+		ws.dist[i] = graph.Inf
+	}
+	return ws
+}
+
+// hasWitness reports whether a path from a to b avoiding v with length
+// <= via exists, settling at most `limit` vertices. Returning false
+// conservatively (budget exhausted) adds a redundant shortcut.
+func (ws *witnessSearcher) hasWitness(adj [][]dynEdge, contracted []bool, v, a, b graph.Vertex, via graph.Dist, limit int) bool {
+	found := false
+	ws.heap.Reset()
+	ws.dist[a] = 0
+	ws.touched = append(ws.touched, a)
+	ws.heap.Push(a, 0)
+	settled := 0
+	for ws.heap.Len() > 0 && settled < limit {
+		u, d := ws.heap.Pop()
+		settled++
+		if d > via {
+			break
+		}
+		if u == b {
+			found = true
+			break
+		}
+		for _, e := range adj[u] {
+			if e.to == v || contracted[e.to] {
+				continue
+			}
+			nd := graph.AddDist(d, e.w)
+			if nd <= via && nd < ws.dist[e.to] {
+				if ws.dist[e.to] == graph.Inf {
+					ws.touched = append(ws.touched, e.to)
+				}
+				ws.dist[e.to] = nd
+				ws.heap.Push(e.to, nd)
+			}
+		}
+	}
+	for _, t := range ws.touched {
+		ws.dist[t] = graph.Inf
+	}
+	ws.touched = ws.touched[:0]
+	return found
+}
+
+// Query returns the exact distance between s and t via two upward
+// Dijkstras meeting at the most important common vertex.
+func (x *Index) Query(s, t graph.Vertex) graph.Dist {
+	if s == t {
+		return 0
+	}
+	df := x.upwardDistances(s)
+	db := x.upwardDistances(t)
+	best := graph.Inf
+	for v, d := range df {
+		if dbv, ok := db[v]; ok {
+			if sum := graph.AddDist(d, dbv); sum < best {
+				best = sum
+			}
+		}
+	}
+	return best
+}
+
+// upwardDistances runs a full upward Dijkstra from s and returns the
+// settled distance map (upward search spaces are tiny — polylog on
+// well-behaved graphs).
+func (x *Index) upwardDistances(s graph.Vertex) map[graph.Vertex]graph.Dist {
+	dist := map[graph.Vertex]graph.Dist{s: 0}
+	var h vheap.Lazy
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, d := h.Pop()
+		if d > dist[u] {
+			continue
+		}
+		for _, e := range x.up[u] {
+			nd := graph.AddDist(d, e.w)
+			if cur, ok := dist[e.to]; !ok || nd < cur {
+				dist[e.to] = nd
+				h.Push(e.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// NumShortcutEdges returns the number of upward edges (original +
+// shortcuts) — the index size measure for CH.
+func (x *Index) NumShortcutEdges() int64 {
+	var total int64
+	for _, edges := range x.up {
+		total += int64(len(edges))
+	}
+	return total
+}
+
+// AvgSearchSpace reports the mean number of vertices settled by an
+// upward search over the given sample sources — the CH query-cost
+// metric.
+func (x *Index) AvgSearchSpace(sample []graph.Vertex) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range sample {
+		total += len(x.upwardDistances(s))
+	}
+	return float64(total) / float64(len(sample))
+}

@@ -1,0 +1,149 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/sssp"
+)
+
+func randomGraph(r *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(v)), V: graph.Vertex(v), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	for i := 0; i < extra; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n)), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestCHExactAllPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(1100))
+	for trial := 0; trial < 8; trial++ {
+		n := 10 + r.Intn(40)
+		g := randomGraph(r, n, 3*n)
+		x := Build(g, Options{})
+		for s := graph.Vertex(0); int(s) < n; s++ {
+			want := sssp.Dijkstra(g, s)
+			for u := graph.Vertex(0); int(u) < n; u++ {
+				if got := x.Query(s, u); got != want[u] {
+					t.Fatalf("trial %d: query(%d,%d) = %d, want %d", trial, s, u, got, want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestCHTinyWitnessLimitStillExact(t *testing.T) {
+	// A starved witness search adds redundant shortcuts but must never
+	// break exactness.
+	r := rand.New(rand.NewSource(1101))
+	g := randomGraph(r, 40, 120)
+	loose := Build(g, Options{WitnessLimit: 1})
+	tight := Build(g, Options{WitnessLimit: 500})
+	for s := graph.Vertex(0); int(s) < 40; s++ {
+		want := sssp.Dijkstra(g, s)
+		for u := graph.Vertex(0); int(u) < 40; u++ {
+			if got := loose.Query(s, u); got != want[u] {
+				t.Fatalf("limit=1: query(%d,%d) = %d, want %d", s, u, got, want[u])
+			}
+			if got := tight.Query(s, u); got != want[u] {
+				t.Fatalf("limit=500: query(%d,%d) = %d, want %d", s, u, got, want[u])
+			}
+		}
+	}
+	// Better witness search means fewer (or equal) shortcut edges.
+	if tight.NumShortcutEdges() > loose.NumShortcutEdges() {
+		t.Fatalf("tight witness search kept more edges (%d) than loose (%d)",
+			tight.NumShortcutEdges(), loose.NumShortcutEdges())
+	}
+}
+
+func TestCHDisconnectedAndSelf(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 3}})
+	x := Build(g, Options{})
+	if d := x.Query(0, 2); d != graph.Inf {
+		t.Fatalf("cross-component = %d, want Inf", d)
+	}
+	if d := x.Query(3, 3); d != 0 {
+		t.Fatalf("self = %d", d)
+	}
+	if d := x.Query(0, 1); d != 3 {
+		t.Fatalf("edge = %d, want 3", d)
+	}
+}
+
+func TestCHOnGeneratedDatasets(t *testing.T) {
+	for _, name := range []string{"DE-USA", "Wiki-Vote"} {
+		rec, err := gen.FindRecipe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := rec.Generate(0.01)
+		x := Build(g, Options{})
+		r := rand.New(rand.NewSource(1102))
+		for q := 0; q < 15; q++ {
+			s := graph.Vertex(r.Intn(g.NumVertices()))
+			want := sssp.Dijkstra(g, s)
+			for probe := 0; probe < 10; probe++ {
+				u := graph.Vertex(r.Intn(g.NumVertices()))
+				if got := x.Query(s, u); got != want[u] {
+					t.Fatalf("%s: query(%d,%d) = %d, want %d", name, s, u, got, want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestCHSearchSpaceSmall(t *testing.T) {
+	// On a road grid the upward search space must be a small fraction of
+	// n — that's the entire point of the hierarchy.
+	g := gen.RoadGrid(30, 30, 1800, 61)
+	x := Build(g, Options{})
+	var sample []graph.Vertex
+	for v := 0; v < 50; v++ {
+		sample = append(sample, graph.Vertex(v*17%g.NumVertices()))
+	}
+	ss := x.AvgSearchSpace(sample)
+	if ss > float64(g.NumVertices())/4 {
+		t.Fatalf("avg upward search space %.0f vertices out of %d: hierarchy not pruning",
+			ss, g.NumVertices())
+	}
+}
+
+// BenchmarkCHvsPLL positions the two index families: CH builds leaner,
+// hub labels answer faster.
+func BenchmarkCHvsPLL(b *testing.B) {
+	g := gen.RoadGrid(40, 40, 3100, 62)
+	b.Run("build/ch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Build(g, Options{})
+		}
+	})
+	b.Run("build/pll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic})
+		}
+	})
+	chIdx := Build(g, Options{})
+	pllIdx := core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic})
+	n := g.NumVertices()
+	b.Run("query/ch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			chIdx.Query(graph.Vertex(i%n), graph.Vertex((i*31)%n))
+		}
+	})
+	b.Run("query/pll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pllIdx.Query(graph.Vertex(i%n), graph.Vertex((i*31)%n))
+		}
+	})
+}

@@ -1,0 +1,309 @@
+// Package cluster implements ParaPLL's inter-node level (paper §4.5,
+// Algorithm 3): each compute node indexes a static round-robin partition
+// of the root vertices with the intra-node engine (internal/core), and
+// label sets are synchronized across nodes a configurable number of times
+// (the paper's c, swept 1–128 in Figure 7) via MPI-style collectives.
+//
+// Delayed synchronization trades pruning power for communication: between
+// syncs a node prunes only against its local view, producing redundant
+// labels (the 2–3× LN growth in Table 5), but every label is still a real
+// path length, so the merged index answers all queries exactly
+// (Proposition 1). Each node finishes with the union of all nodes'
+// labels, so all final indexes are identical.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/mpi"
+	"parapll/internal/task"
+)
+
+// Partition selects how the global computing sequence is divided among
+// cluster nodes. The paper fixes round-robin ("the task assignment among
+// different nodes is static", §5.3); the alternatives exist as ablations
+// showing why: with hub-first ordering, contiguous blocks give node 0
+// all the expensive early roots.
+type Partition int
+
+// Inter-node partition strategies.
+const (
+	// PartitionRoundRobin deals ord[i] to node i mod q (the paper's).
+	PartitionRoundRobin Partition = iota
+	// PartitionBlocks gives node i the i-th contiguous slice of the order.
+	PartitionBlocks
+	// PartitionRandom shuffles the order with Seed, then deals blocks.
+	PartitionRandom
+)
+
+// String names the partition strategy.
+func (p Partition) String() string {
+	switch p {
+	case PartitionRoundRobin:
+		return "round-robin"
+	case PartitionBlocks:
+		return "blocks"
+	case PartitionRandom:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a cluster build on one node.
+type Options struct {
+	// Comm connects this node to the rest of the cluster (required).
+	Comm mpi.Comm
+	// Threads is the per-node worker count; <= 0 means GOMAXPROCS.
+	Threads int
+	// Policy is the intra-node assignment policy (the inter-node
+	// partition is always static, as in the paper's evaluation).
+	Policy core.Policy
+	// Chunk is the dynamic policy's roots-per-fetch.
+	Chunk int
+	// Order is the global computing sequence; nil means degree
+	// descending. Every node must use the same order.
+	Order []graph.Vertex
+	// SyncCount is the paper's c: how many label synchronizations happen
+	// over the whole run (>= 1). c=1 means a single sync at the end —
+	// the configuration the paper found fastest.
+	SyncCount int
+	// Partition selects the inter-node root split (default round-robin,
+	// the paper's choice).
+	Partition Partition
+	// Seed feeds PartitionRandom. Every node must pass the same seed.
+	Seed uint64
+	// LazyHeap switches workers to the lazy binary heap.
+	LazyHeap bool
+}
+
+// partitionRoots returns the roots owned by `rank` out of `size` nodes
+// under the chosen strategy. Deterministic: every node computes the same
+// global split.
+func partitionRoots(ord []graph.Vertex, rank, size int, p Partition, seed uint64) []graph.Vertex {
+	var local []graph.Vertex
+	switch p {
+	case PartitionBlocks:
+		lo := rank * len(ord) / size
+		hi := (rank + 1) * len(ord) / size
+		local = append(local, ord[lo:hi]...)
+	case PartitionRandom:
+		shuffled := make([]graph.Vertex, len(ord))
+		copy(shuffled, ord)
+		r := gen.NewRNG(seed)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		lo := rank * len(shuffled) / size
+		hi := (rank + 1) * len(shuffled) / size
+		local = append(local, shuffled[lo:hi]...)
+	default: // PartitionRoundRobin
+		for i := rank; i < len(ord); i += size {
+			local = append(local, ord[i])
+		}
+	}
+	return local
+}
+
+// Stats reports the time breakdown the paper plots in Figure 7 (c)(d).
+type Stats struct {
+	// CompTime is wall time spent in local Pruned Dijkstra segments.
+	CompTime time.Duration
+	// CommTime is wall time spent packing, exchanging and merging labels.
+	CommTime time.Duration
+	// Syncs is the number of synchronizations performed.
+	Syncs int
+	// BytesSent is the total payload this node contributed to syncs.
+	BytesSent int64
+	// BytesReceived is the total payload merged from other nodes.
+	BytesReceived int64
+	// LocalRoots is how many Pruned Dijkstra roots this node indexed.
+	LocalRoots int
+	// WorkOps is this node's machine-independent work (heap pops +
+	// relaxations + label scans across all its workers). With q nodes the
+	// projected cluster speedup is work(1 node) / max over nodes WorkOps —
+	// it captures both load balance and the redundant labels delayed
+	// synchronization causes.
+	WorkOps int64
+}
+
+// recordingStore wraps the shared intra-node store, additionally logging
+// every new label into the pending update List (Algorithm 3 lines 9–10)
+// for the next synchronization.
+type recordingStore struct {
+	*label.Store
+	mu   sync.Mutex
+	list []update
+}
+
+type update struct {
+	v, hub graph.Vertex
+	d      graph.Dist
+}
+
+func (rs *recordingStore) Append(v, hub graph.Vertex, d graph.Dist) {
+	rs.Store.Append(v, hub, d)
+	rs.mu.Lock()
+	rs.list = append(rs.list, update{v: v, hub: hub, d: d})
+	rs.mu.Unlock()
+}
+
+// takeList returns and clears the pending updates.
+func (rs *recordingStore) takeList() []update {
+	rs.mu.Lock()
+	out := rs.list
+	rs.list = nil
+	rs.mu.Unlock()
+	return out
+}
+
+const bytesPerUpdate = 12
+
+func packUpdates(list []update) []byte {
+	buf := make([]byte, len(list)*bytesPerUpdate)
+	for i, u := range list {
+		o := i * bytesPerUpdate
+		binary.LittleEndian.PutUint32(buf[o:o+4], uint32(u.v))
+		binary.LittleEndian.PutUint32(buf[o+4:o+8], uint32(u.hub))
+		binary.LittleEndian.PutUint32(buf[o+8:o+12], uint32(u.d))
+	}
+	return buf
+}
+
+// mergeUpdates applies a packed update block from another node.
+func mergeUpdates(store *label.Store, buf []byte, n int) error {
+	if len(buf)%bytesPerUpdate != 0 {
+		return fmt.Errorf("cluster: corrupt sync payload (%d bytes)", len(buf))
+	}
+	// Group consecutive updates for the same vertex to amortize locking.
+	var pendingV graph.Vertex = -1
+	var pending []label.Entry
+	flush := func() {
+		if len(pending) > 0 {
+			store.BulkAppend(pendingV, pending)
+			pending = pending[:0]
+		}
+	}
+	for o := 0; o < len(buf); o += bytesPerUpdate {
+		v := graph.Vertex(binary.LittleEndian.Uint32(buf[o : o+4]))
+		hub := graph.Vertex(binary.LittleEndian.Uint32(buf[o+4 : o+8]))
+		d := graph.Dist(binary.LittleEndian.Uint32(buf[o+8 : o+12]))
+		if int(v) < 0 || int(v) >= n || int(hub) < 0 || int(hub) >= n {
+			return fmt.Errorf("cluster: sync update out of range (v=%d hub=%d)", v, hub)
+		}
+		if v != pendingV {
+			flush()
+			pendingV = v
+		}
+		pending = append(pending, label.Entry{Hub: hub, D: d})
+	}
+	flush()
+	return nil
+}
+
+// Build runs this node's share of the cluster indexing and returns the
+// final (cluster-wide, identical on every node) index plus the time
+// breakdown. It must be called concurrently on every rank of opt.Comm.
+func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
+	if opt.Comm == nil {
+		return nil, nil, fmt.Errorf("cluster: Options.Comm is required")
+	}
+	c := opt.SyncCount
+	if c < 1 {
+		c = 1
+	}
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != g.NumVertices() {
+		return nil, nil, fmt.Errorf("cluster: Order must be a permutation of the vertices")
+	}
+
+	rank, size := opt.Comm.Rank(), opt.Comm.Size()
+	// Static inter-node partition (round-robin unless overridden).
+	local := partitionRoots(ord, rank, size, opt.Partition, opt.Seed)
+
+	store := &recordingStore{Store: label.NewStore(g.NumVertices())}
+	stats := &Stats{LocalRoots: len(local)}
+	// Clamp the sync count to at most one sync per root — but the clamp
+	// must be identical on every rank or the collective counts diverge
+	// and the cluster deadlocks, so clamp by the smallest share any rank
+	// can own (⌊n/size⌋), never by len(local).
+	if minShare := len(ord) / size; c > minShare {
+		c = minShare
+		if c < 1 {
+			c = 1
+		}
+	}
+
+	// Process the local list in c segments, synchronizing after each.
+	for seg := 0; seg < c; seg++ {
+		lo := seg * len(local) / c
+		hi := (seg + 1) * len(local) / c
+		segRoots := local[lo:hi]
+
+		t0 := time.Now()
+		if len(segRoots) > 0 {
+			mgr := newSegmentManager(segRoots, &opt)
+			for _, w := range core.RunWorkers(g, mgr, store, nil, opt.LazyHeap) {
+				stats.WorkOps += w
+			}
+		}
+		stats.CompTime += time.Since(t0)
+
+		t1 := time.Now()
+		if err := synchronize(opt.Comm, store, g.NumVertices(), stats); err != nil {
+			return nil, nil, err
+		}
+		stats.CommTime += time.Since(t1)
+		stats.Syncs++
+	}
+
+	t2 := time.Now()
+	idx := label.NewIndex(store.Store)
+	stats.CompTime += time.Since(t2)
+	return idx, stats, nil
+}
+
+func newSegmentManager(roots []graph.Vertex, opt *Options) task.Manager {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = defaultThreads()
+	}
+	switch opt.Policy {
+	case core.Dynamic:
+		return task.NewDynamic(roots, threads, opt.Chunk)
+	default:
+		return task.NewStatic(roots, threads)
+	}
+}
+
+// synchronize exchanges every node's pending update List with all other
+// nodes (allgather — the paper's gather of Lists in Algorithm 3 line 15)
+// and merges the remote labels into the local store.
+func synchronize(comm mpi.Comm, store *recordingStore, n int, stats *Stats) error {
+	mine := packUpdates(store.takeList())
+	stats.BytesSent += int64(len(mine))
+	parts, err := mpi.Allgather(comm, mine)
+	if err != nil {
+		return fmt.Errorf("cluster: sync: %w", err)
+	}
+	for r, p := range parts {
+		if r == comm.Rank() {
+			continue
+		}
+		stats.BytesReceived += int64(len(p))
+		if err := mergeUpdates(store.Store, p, n); err != nil {
+			return fmt.Errorf("cluster: merging from rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/mpi"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+)
+
+func randomGraph(r *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(v)), V: graph.Vertex(v), W: graph.Dist(1 + r.Intn(40)),
+		})
+	}
+	for i := 0; i < extra; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n)), W: graph.Dist(1 + r.Intn(40)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func checkAllPairs(t *testing.T, g *graph.Graph, x *label.Index) {
+	t.Helper()
+	n := g.NumVertices()
+	for s := graph.Vertex(0); int(s) < n; s++ {
+		want := sssp.Dijkstra(g, s)
+		for u := graph.Vertex(0); int(u) < n; u++ {
+			if got := x.Query(s, u); got != want[u] {
+				t.Fatalf("query(%d,%d) = %d, want %d", s, u, got, want[u])
+			}
+		}
+	}
+}
+
+// TestClusterCorrectness sweeps node counts, sync counts and policies:
+// every configuration must answer all pairs exactly and give every node
+// the identical final index.
+func TestClusterCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(300))
+	g := randomGraph(r, 60, 120)
+	for _, nodes := range []int{1, 2, 3, 6} {
+		for _, syncs := range []int{1, 2, 4} {
+			for _, policy := range []core.Policy{core.Static, core.Dynamic} {
+				idxs, stats, err := RunLocal(g, nodes, Options{
+					Threads: 2, Policy: policy, SyncCount: syncs,
+				})
+				if err != nil {
+					t.Fatalf("nodes=%d syncs=%d policy=%v: %v", nodes, syncs, policy, err)
+				}
+				checkAllPairs(t, g, idxs[0])
+				for rk := 1; rk < nodes; rk++ {
+					if !reflect.DeepEqual(idxs[0], idxs[rk]) {
+						t.Fatalf("nodes=%d syncs=%d: rank %d index differs from rank 0", nodes, syncs, rk)
+					}
+				}
+				totalRoots := 0
+				for _, s := range stats {
+					totalRoots += s.LocalRoots
+					if s.Syncs < 1 {
+						t.Fatalf("node did %d syncs, want >= 1", s.Syncs)
+					}
+				}
+				if totalRoots != g.NumVertices() {
+					t.Fatalf("partition covered %d roots, want %d", totalRoots, g.NumVertices())
+				}
+			}
+		}
+	}
+}
+
+// TestLabelGrowthWithNodes reproduces Table 5's qualitative LN claim:
+// fewer syncs across more nodes means more redundant labels, so the
+// average label size grows with the node count at c=1 and a single node
+// matches the serial size.
+func TestLabelGrowthWithNodes(t *testing.T) {
+	g := gen.ChungLu(500, 2000, 2.2, 11)
+	serial := pll.Build(g, pll.Options{})
+	var prev float64
+	for _, nodes := range []int{1, 3, 6} {
+		idxs, _, err := RunLocal(g, nodes, Options{Threads: 1, SyncCount: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln := idxs[0].AvgLabelSize()
+		if nodes == 1 {
+			if ln != serial.AvgLabelSize() {
+				t.Fatalf("1-node 1-thread LN %.2f != serial %.2f", ln, serial.AvgLabelSize())
+			}
+		} else if ln < prev {
+			t.Fatalf("LN shrank from %.2f to %.2f when growing to %d nodes", prev, ln, nodes)
+		}
+		prev = ln
+	}
+}
+
+// TestMoreSyncsSmallerLabels reproduces Figure 7(b): increasing the sync
+// count c gives each node a fresher view, so pruning improves and the
+// final label count shrinks (or at least never grows).
+func TestMoreSyncsSmallerLabels(t *testing.T) {
+	g := gen.ChungLu(400, 1600, 2.2, 12)
+	var sizes []int64
+	for _, c := range []int{1, 4, 16} {
+		idxs, _, err := RunLocal(g, 4, Options{Threads: 1, SyncCount: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, idxs[0].NumEntries())
+	}
+	if sizes[2] > sizes[0] {
+		t.Fatalf("label count grew with more syncs: c=1 -> %d, c=16 -> %d", sizes[0], sizes[2])
+	}
+}
+
+func TestSyncAccounting(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(301)), 50, 100)
+	_, stats, err := RunLocal(g, 3, Options{Threads: 1, SyncCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent, recv int64
+	for _, s := range stats {
+		if s.Syncs != 2 {
+			t.Fatalf("syncs = %d, want 2", s.Syncs)
+		}
+		sent += s.BytesSent
+		recv += s.BytesReceived
+	}
+	// Every byte sent is received by nodes-1 peers.
+	if recv != 2*sent {
+		t.Fatalf("received %d bytes, want 2x sent (%d)", recv, 2*sent)
+	}
+	if sent%bytesPerUpdate != 0 {
+		t.Fatalf("sent bytes %d not a multiple of update size", sent)
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	// End-to-end over real sockets: 3 ranks in-process via TCP loopback.
+	g := randomGraph(rand.New(rand.NewSource(302)), 40, 80)
+	rootAddr := reserveAddr(t)
+	const nodes = 3
+	idxs := make([]*label.Index, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := mpi.ConnectTCP(r, nodes, rootAddr, "")
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer comm.Close()
+			idxs[r], _, errs[r] = Build(g, Options{Comm: comm, Threads: 2, Policy: core.Dynamic, SyncCount: 2})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	checkAllPairs(t, g, idxs[0])
+	for r := 1; r < nodes; r++ {
+		if !reflect.DeepEqual(idxs[0], idxs[r]) {
+			t.Fatalf("rank %d TCP index differs", r)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(303)), 10, 10)
+	if _, _, err := Build(g, Options{}); err == nil {
+		t.Fatal("missing Comm accepted")
+	}
+	if _, _, err := RunLocal(g, 0, Options{}); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, _, err := RunLocal(g, 2, Options{Comm: mpi.World(1)[0]}); err == nil {
+		t.Fatal("pre-set Comm accepted")
+	}
+	comms := mpi.World(1)
+	if _, _, err := Build(g, Options{Comm: comms[0], Order: []graph.Vertex{0}}); err == nil {
+		t.Fatal("bad order accepted")
+	}
+}
+
+func TestSyncCountClamped(t *testing.T) {
+	// More syncs than local roots must not crash or divide by zero.
+	g := randomGraph(rand.New(rand.NewSource(304)), 12, 10)
+	idxs, stats, err := RunLocal(g, 3, Options{Threads: 1, SyncCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, g, idxs[0])
+	for _, s := range stats {
+		if s.Syncs > s.LocalRoots && s.LocalRoots > 0 {
+			t.Fatalf("syncs %d > local roots %d", s.Syncs, s.LocalRoots)
+		}
+	}
+}
+
+// TestSyncCountClampUnevenPartition is the regression test for a real
+// deadlock: when n is not divisible by the node count, ranks own
+// different numbers of roots; clamping the sync count per rank made
+// ranks disagree on the number of collective rounds and hang forever.
+// The clamp must be computed identically on every rank.
+func TestSyncCountClampUnevenPartition(t *testing.T) {
+	// n = 40, 6 nodes: shares are 7,7,7,7,6,6 — uneven.
+	g := randomGraph(rand.New(rand.NewSource(305)), 40, 60)
+	done := make(chan struct{})
+	var idxs []*label.Index
+	var err error
+	go func() {
+		defer close(done)
+		idxs, _, err = RunLocal(g, 6, Options{Threads: 1, SyncCount: 128})
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cluster deadlocked on uneven partition with large sync count")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAllPairs(t, g, idxs[0])
+	// All ranks must have performed the same number of syncs.
+	_, stats, err := RunLocal(g, 6, Options{Threads: 1, SyncCount: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < len(stats); r++ {
+		if stats[r].Syncs != stats[0].Syncs {
+			t.Fatalf("rank %d did %d syncs, rank 0 did %d", r, stats[r].Syncs, stats[0].Syncs)
+		}
+	}
+}
+
+func TestMergeUpdatesValidation(t *testing.T) {
+	store := label.NewStore(4)
+	if err := mergeUpdates(store, []byte{1, 2, 3}, 4); err == nil {
+		t.Fatal("misaligned payload accepted")
+	}
+	bad := packUpdates([]update{{v: 99, hub: 0, d: 1}})
+	if err := mergeUpdates(store, bad, 4); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	good := packUpdates([]update{{v: 1, hub: 2, d: 7}, {v: 1, hub: 3, d: 8}, {v: 2, hub: 0, d: 9}})
+	if err := mergeUpdates(store, good, 4); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len(1) != 2 || store.Len(2) != 1 {
+		t.Fatalf("merge produced lens %d,%d", store.Len(1), store.Len(2))
+	}
+}
+
+// reserveAddr grabs an ephemeral loopback port for the TCP rendezvous.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}

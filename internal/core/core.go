@@ -1,0 +1,261 @@
+// Package core implements ParaPLL's intra-node parallel indexing — the
+// paper's primary contribution. A task manager hands root vertices to p
+// worker goroutines under a static (round-robin, Figure 2) or dynamic
+// (competing queue, Figure 3 / Algorithm 2) assignment policy; each worker
+// runs Pruned Dijkstra searches against a shared label store.
+//
+// The shared store is the concurrency heart: label reads (the prune query
+// on every settled vertex) are lock-free snapshots, and writes serialize
+// on a per-vertex mutex — the Go rendition of Algorithm 2's "semaphore
+// with lock/unlock ... to eliminate race conditions". A worker may miss
+// labels that other workers are writing concurrently; by the paper's
+// Proposition 1 that only weakens pruning (extra redundant labels), never
+// query correctness, because every written label is the length of a real
+// path and the QUERY minimum ignores dominated entries.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/pll"
+	"parapll/internal/task"
+)
+
+// Policy selects the task assignment policy.
+type Policy int
+
+// Assignment policies (paper §4.3 and §4.4).
+const (
+	Static Policy = iota
+	Dynamic
+)
+
+// String returns the policy name as used in the paper's tables.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// LabelStore abstracts the shared label set workers read and write. The
+// default is the lock-free-read label.Store; RWLockedStore exists as an
+// ablation to quantify that design choice.
+type LabelStore interface {
+	Snapshot(v graph.Vertex) []label.Entry
+	Append(v, hub graph.Vertex, d graph.Dist)
+}
+
+// Options configures a parallel build.
+type Options struct {
+	// Threads is the number of worker goroutines; <= 0 means GOMAXPROCS.
+	Threads int
+	// Policy is the assignment policy; Static is the zero value.
+	Policy Policy
+	// Chunk is the dynamic policy's roots-per-fetch (<= 1 means 1).
+	Chunk int
+	// Order is the computing sequence; nil means degree descending.
+	Order []graph.Vertex
+	// Trace, when non-nil, receives per-sequence-position label counts
+	// (Figure 6). Safe because each position is claimed by exactly one
+	// worker.
+	Trace *pll.Trace
+	// LazyHeap switches workers to the lazy binary heap (ablation).
+	LazyHeap bool
+}
+
+// Build indexes g in parallel and returns the finalized 2-hop index.
+func Build(g *graph.Graph, opt Options) *label.Index {
+	idx, _ := BuildWithStats(g, opt)
+	return idx
+}
+
+// BuildStats reports machine-independent accounting of one parallel
+// build. On hosts with fewer cores than workers, wall-clock speedup is
+// meaningless; ProjectedSpeedup — total work over the busiest worker's
+// work — is the idealized speedup the assignment policy achieves with
+// perfect hardware, which is what Tables 3–4's load-balance comparison is
+// actually about.
+type BuildStats struct {
+	// PerWorkerWork[w] is the work (heap pops + relaxations + label
+	// scans) worker w performed.
+	PerWorkerWork []int64
+}
+
+// TotalWork sums the per-worker work.
+func (s *BuildStats) TotalWork() int64 {
+	var sum int64
+	for _, w := range s.PerWorkerWork {
+		sum += w
+	}
+	return sum
+}
+
+// ProjectedSpeedup returns TotalWork / max-worker-work: the speedup this
+// assignment would reach on hardware with one real core per worker.
+func (s *BuildStats) ProjectedSpeedup() float64 {
+	var max int64
+	for _, w := range s.PerWorkerWork {
+		if w > max {
+			max = w
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	return float64(s.TotalWork()) / float64(max)
+}
+
+// BuildWithStats is Build plus per-worker work accounting.
+func BuildWithStats(g *graph.Graph, opt Options) (*label.Index, *BuildStats) {
+	store := label.NewStore(g.NumVertices())
+	stats := BuildInto(g, store, opt)
+	return label.NewIndex(store), stats
+}
+
+// BuildInto runs the parallel indexing into the provided store without
+// finalizing it, returning the work accounting. The cluster package uses
+// this to interleave local indexing with inter-node synchronization.
+func BuildInto(g *graph.Graph, store LabelStore, opt Options) *BuildStats {
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != g.NumVertices() {
+		panic("core: Order must be a permutation of the vertices")
+	}
+	mgr := newManager(ord, &opt)
+	if opt.Trace != nil {
+		opt.Trace.AddedPerRoot = make([]int64, len(ord))
+		opt.Trace.PrunedPerRoot = make([]int64, len(ord))
+		opt.Trace.WorkPerRoot = make([]int64, len(ord))
+	}
+	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, opt.Trace, opt.LazyHeap)}
+}
+
+func newManager(ord []graph.Vertex, opt *Options) task.Manager {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	opt.Threads = threads
+	switch opt.Policy {
+	case Dynamic:
+		return task.NewDynamic(ord, threads, opt.Chunk)
+	default:
+		return task.NewStatic(ord, threads)
+	}
+}
+
+// RunWorkers runs mgr.Workers() goroutines, each owning a pll.Searcher,
+// until the task manager is exhausted, and returns each worker's total
+// work. trace may be nil; when set, its slices must be at least as long
+// as the largest sequence position the manager hands out.
+func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.Trace, lazyHeap bool) []int64 {
+	perWorker := make([]int64, mgr.Workers())
+	var wg sync.WaitGroup
+	for w := 0; w < mgr.Workers(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := pll.NewSearcher(g, lazyHeap)
+			for {
+				r, pos, ok := mgr.Next(w)
+				if !ok {
+					return
+				}
+				added, pruned := ps.Run(r,
+					store.Snapshot,
+					func(u graph.Vertex, e label.Entry) { store.Append(u, e.Hub, e.D) },
+				)
+				perWorker[w] += ps.LastWork()
+				if trace != nil {
+					trace.AddedPerRoot[pos] = added
+					trace.PrunedPerRoot[pos] = pruned
+					trace.WorkPerRoot[pos] = ps.LastWork()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return perWorker
+}
+
+// BuildRelabeled is Build with the rank-relabeling optimization most
+// production PLL codebases apply: the graph is renumbered so that
+// computing-sequence position i becomes vertex id i, the index is built
+// over the renumbered graph (hub ids are then small dense ints with
+// hot hubs packed together — better cache locality and tighter varint
+// encoding), and the result is mapped back to the original ids. The
+// returned index answers queries identically to Build's.
+func BuildRelabeled(g *graph.Graph, opt Options) *label.Index {
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != g.NumVertices() {
+		panic("core: Order must be a permutation of the vertices")
+	}
+	// perm[old] = new: sequence position becomes the id.
+	n := g.NumVertices()
+	perm := make([]graph.Vertex, n)
+	for pos, v := range ord {
+		perm[v] = graph.Vertex(pos)
+	}
+	relabeled := g.Relabel(perm)
+	identity := make([]graph.Vertex, n)
+	for i := range identity {
+		identity[i] = graph.Vertex(i)
+	}
+	inner := opt
+	inner.Order = identity
+	idx := Build(relabeled, inner)
+	return idx.Remap(ord) // newToOld: relabeled id i was ord[i]
+}
+
+// RWLockedStore is the ablation store: one global RWMutex, snapshot
+// copies under read lock. It answers "was the published-length lock-free
+// store worth the complexity?" in the ablation benches.
+type RWLockedStore struct {
+	mu    sync.RWMutex
+	lists [][]label.Entry
+	total atomic.Int64
+}
+
+// NewRWLockedStore returns an empty RW-locked store for n vertices.
+func NewRWLockedStore(n int) *RWLockedStore {
+	return &RWLockedStore{lists: make([][]label.Entry, n)}
+}
+
+// Snapshot implements LabelStore by copying under a read lock.
+func (s *RWLockedStore) Snapshot(v graph.Vertex) []label.Entry {
+	s.mu.RLock()
+	out := make([]label.Entry, len(s.lists[v]))
+	copy(out, s.lists[v])
+	s.mu.RUnlock()
+	return out
+}
+
+// Append implements LabelStore under the write lock.
+func (s *RWLockedStore) Append(v, hub graph.Vertex, d graph.Dist) {
+	s.mu.Lock()
+	s.lists[v] = append(s.lists[v], label.Entry{Hub: hub, D: d})
+	s.mu.Unlock()
+	s.total.Add(1)
+}
+
+// Finalize converts the store's contents into an Index.
+func (s *RWLockedStore) Finalize() *label.Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return label.NewIndexFromLists(s.lists)
+}
+
+// TotalEntries returns the number of appended entries.
+func (s *RWLockedStore) TotalEntries() int64 { return s.total.Load() }

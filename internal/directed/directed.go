@@ -1,0 +1,162 @@
+// Package directed extends pruned landmark labeling to directed weighted
+// graphs — the generalization the original PLL paper supports and an
+// obvious follow-on for ParaPLL (web graphs and road networks with
+// one-way streets are directed; the paper evaluates their undirected
+// projections). Every vertex keeps two label sets:
+//
+//	Lin(v)  = {(h, d(h→v))}   hubs that reach v
+//	Lout(v) = {(h, d(v→h))}   hubs v reaches
+//
+// and QUERY(s,t) = min over h ∈ Lout(s) ∩ Lin(t) of d(s→h) + d(h→t).
+// Indexing runs, per root r in the computing sequence, one forward
+// pruned Dijkstra (filling Lin of reached vertices) and one backward
+// pruned Dijkstra over reversed arcs (filling Lout), each pruned against
+// the current directed 2-hop cover.
+package directed
+
+import (
+	"sort"
+
+	"parapll/internal/graph"
+	"parapll/internal/vheap"
+)
+
+// Arc is one directed weighted edge.
+type Arc struct {
+	From, To graph.Vertex
+	W        graph.Dist
+}
+
+// Digraph is an immutable directed weighted graph in dual-CSR form
+// (forward and reverse adjacency).
+type Digraph struct {
+	outOff, inOff []int64
+	outAdj, inAdj []graph.Vertex
+	outW, inW     []graph.Dist
+}
+
+// FromArcs builds a Digraph with n vertices. Self-loops are dropped and
+// duplicate arcs keep their smallest weight. Panics on out-of-range
+// endpoints or infinite weights.
+func FromArcs(n int, arcs []Arc) *Digraph {
+	norm := make([]Arc, 0, len(arcs))
+	for _, a := range arcs {
+		if a.From == a.To {
+			continue
+		}
+		if int(a.From) < 0 || int(a.From) >= n || int(a.To) < 0 || int(a.To) >= n {
+			panic("directed: arc endpoint out of range")
+		}
+		if a.W == graph.Inf {
+			panic("directed: infinite arc weight")
+		}
+		norm = append(norm, a)
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].From != norm[j].From {
+			return norm[i].From < norm[j].From
+		}
+		if norm[i].To != norm[j].To {
+			return norm[i].To < norm[j].To
+		}
+		return norm[i].W < norm[j].W
+	})
+	dedup := norm[:0]
+	for _, a := range norm {
+		if len(dedup) > 0 && dedup[len(dedup)-1].From == a.From && dedup[len(dedup)-1].To == a.To {
+			continue
+		}
+		dedup = append(dedup, a)
+	}
+	g := &Digraph{
+		outOff: make([]int64, n+1), inOff: make([]int64, n+1),
+		outAdj: make([]graph.Vertex, len(dedup)), inAdj: make([]graph.Vertex, len(dedup)),
+		outW: make([]graph.Dist, len(dedup)), inW: make([]graph.Dist, len(dedup)),
+	}
+	outDeg := make([]int64, n)
+	inDeg := make([]int64, n)
+	for _, a := range dedup {
+		outDeg[a.From]++
+		inDeg[a.To]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] = g.outOff[i] + outDeg[i]
+		g.inOff[i+1] = g.inOff[i] + inDeg[i]
+	}
+	outCur := make([]int64, n)
+	inCur := make([]int64, n)
+	copy(outCur, g.outOff[:n])
+	copy(inCur, g.inOff[:n])
+	for _, a := range dedup {
+		g.outAdj[outCur[a.From]], g.outW[outCur[a.From]] = a.To, a.W
+		outCur[a.From]++
+		g.inAdj[inCur[a.To]], g.inW[inCur[a.To]] = a.From, a.W
+		inCur[a.To]++
+	}
+	return g
+}
+
+// NumVertices returns n.
+func (g *Digraph) NumVertices() int { return len(g.outOff) - 1 }
+
+// NumArcs returns the number of directed arcs.
+func (g *Digraph) NumArcs() int { return len(g.outAdj) }
+
+// Out returns v's outgoing neighbors and weights (internal storage; do
+// not modify).
+func (g *Digraph) Out(v graph.Vertex) ([]graph.Vertex, []graph.Dist) {
+	lo, hi := g.outOff[v], g.outOff[v+1]
+	return g.outAdj[lo:hi], g.outW[lo:hi]
+}
+
+// In returns v's incoming neighbors and weights.
+func (g *Digraph) In(v graph.Vertex) ([]graph.Vertex, []graph.Dist) {
+	lo, hi := g.inOff[v], g.inOff[v+1]
+	return g.inAdj[lo:hi], g.inW[lo:hi]
+}
+
+// Dijkstra computes forward single-source distances d(s→v) — the oracle
+// the directed index is validated against.
+func Dijkstra(g *Digraph, s graph.Vertex) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[s] = 0
+	h := vheap.NewIndexed(n)
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, d := h.Pop()
+		ns, ws := g.Out(u)
+		for i, v := range ns {
+			nd := graph.AddDist(d, ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				h.Push(v, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DegreeOrder returns vertices by (in+out)-degree descending, ties by
+// id — the directed analogue of the paper's computing sequence.
+func DegreeOrder(g *Digraph) []graph.Vertex {
+	n := g.NumVertices()
+	ord := make([]graph.Vertex, n)
+	for i := range ord {
+		ord[i] = graph.Vertex(i)
+	}
+	deg := func(v graph.Vertex) int64 {
+		return (g.outOff[v+1] - g.outOff[v]) + (g.inOff[v+1] - g.inOff[v])
+	}
+	sort.SliceStable(ord, func(i, j int) bool {
+		di, dj := deg(ord[i]), deg(ord[j])
+		if di != dj {
+			return di > dj
+		}
+		return ord[i] < ord[j]
+	})
+	return ord
+}

@@ -1,0 +1,153 @@
+package fileio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/pll"
+)
+
+func testGraph() *graph.Graph {
+	return graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 5}, {U: 0, V: 3, W: 20},
+	})
+}
+
+func TestGraphRoundTripFormats(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph()
+	for _, name := range []string{"g.txt", "g.edges", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := LoadGraph(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("%s: round trip changed graph", name)
+		}
+	}
+}
+
+func TestLoadDIMACS(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.gr")
+	content := "p sp 2 1\na 1 2 9\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 9 {
+		t.Fatalf("DIMACS load wrong: w=%d ok=%v", w, ok)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph()
+	x := pll.Build(g, pll.Options{})
+	path := filepath.Join(dir, "g.idx")
+	if err := SaveIndex(path, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("index round trip changed index")
+	}
+}
+
+func TestCompactIndexExtension(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph()
+	x := pll.Build(g, pll.Options{})
+	fixed := filepath.Join(dir, "g.idx")
+	compact := filepath.Join(dir, "g.cidx")
+	if err := SaveIndex(fixed, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(compact, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadIndex(compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("compact extension round trip changed index")
+	}
+	fi, _ := os.Stat(fixed)
+	ci, _ := os.Stat(compact)
+	if ci.Size() >= fi.Size() {
+		t.Fatalf("compact file %d bytes >= fixed %d bytes", ci.Size(), fi.Size())
+	}
+	// Loading a fixed-format file through the .cidx path must fail, not
+	// silently misparse.
+	bad := filepath.Join(dir, "renamed.cidx")
+	data, _ := os.ReadFile(fixed)
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bad); err == nil {
+		t.Fatal("fixed payload accepted as compact")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadGraph("/nonexistent/g.bin"); err == nil {
+		t.Fatal("missing graph accepted")
+	}
+	if _, err := LoadIndex("/nonexistent/g.idx"); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}
+
+func TestLoadCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.idx")
+	if err := os.WriteFile(path, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(path); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveGraph(filepath.Join(dir, "g.bin"), testGraph()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.bin" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory has %v, want only g.bin", names)
+	}
+}
+
+func TestSaveIntoMissingDirFails(t *testing.T) {
+	if err := SaveGraph("/nonexistent/dir/g.bin", testGraph()); err == nil {
+		t.Fatal("save into missing dir succeeded")
+	}
+	var x *label.Index = pll.Build(testGraph(), pll.Options{})
+	if err := SaveIndex("/nonexistent/dir/g.idx", x); err == nil {
+		t.Fatal("index save into missing dir succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRMATBasic(t *testing.T) {
+	g := RMATNice(10, 4000, 51)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 4000 {
+		t.Fatalf("m = %d, want 4000", g.NumEdges())
+	}
+	// Skewed degrees: max degree well above average.
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) < 3*avg {
+		t.Errorf("max degree %d vs avg %.1f: not skewed", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	if !reflect.DeepEqual(RMATNice(8, 600, 7), RMATNice(8, 600, 7)) {
+		t.Fatal("RMAT not deterministic")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad-scale":    func() { RMAT(0, 10, 0.25, 0.25, 0.25, 0.25, 1) },
+		"bad-probs":    func() { RMAT(5, 10, 0.5, 0.5, 0.5, 0.5, 1) },
+		"too-many-m":   func() { RMAT(2, 100, 0.25, 0.25, 0.25, 0.25, 1) },
+		"scale-to-big": func() { RMAT(31, 10, 0.25, 0.25, 0.25, 0.25, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestRMATUniformParamsAreER(t *testing.T) {
+	// With equal quadrant probabilities R-MAT degenerates to near-uniform
+	// edges: degree skew should be mild.
+	g := RMAT(10, 4000, 0.25, 0.25, 0.25, 0.25, 9)
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(g.MaxDegree()) > 6*avg {
+		t.Errorf("uniform R-MAT max degree %d vs avg %.1f: unexpectedly skewed", g.MaxDegree(), avg)
+	}
+}

@@ -1,0 +1,411 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddDist(t *testing.T) {
+	cases := []struct {
+		a, b, want Dist
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{Inf, 0, Inf},
+		{0, Inf, Inf},
+		{Inf, Inf, Inf},
+		{Inf - 1, 1, Inf}, // saturates exactly at the boundary
+		{Inf - 1, 2, Inf}, // overflow clamps
+		{Inf / 2, Inf / 2, Inf - 1},
+	}
+	for _, c := range cases {
+		if got := AddDist(c.a, c.b); got != c.want {
+			t.Errorf("AddDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddDistProperties(t *testing.T) {
+	// Commutative and never less than either operand (monotone).
+	f := func(a, b uint32) bool {
+		s := AddDist(a, b)
+		return s == AddDist(b, a) && s >= a && s >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func triangle() *Graph {
+	return FromEdges(3, []Edge{{0, 1, 5}, {1, 2, 7}, {0, 2, 20}})
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := triangle()
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got n=%d m=%d, want 3,3", g.NumVertices(), g.NumEdges())
+	}
+	if w, ok := g.HasEdge(0, 1); !ok || w != 5 {
+		t.Errorf("edge {0,1}: got w=%d ok=%v", w, ok)
+	}
+	if w, ok := g.HasEdge(1, 0); !ok || w != 5 {
+		t.Errorf("reverse edge {1,0}: got w=%d ok=%v", w, ok)
+	}
+	if _, ok := g.HasEdge(0, 0); ok {
+		t.Error("self edge should not exist")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestFromEdgesNormalization(t *testing.T) {
+	// Self-loops dropped, duplicates keep min weight regardless of order.
+	g := FromEdges(3, []Edge{
+		{1, 1, 9}, // self-loop: dropped
+		{0, 1, 8},
+		{1, 0, 3}, // duplicate reversed: min weight 3 wins
+		{2, 1, 4},
+		{1, 2, 6}, // duplicate: 4 wins
+	})
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if w, _ := g.HasEdge(0, 1); w != 3 {
+		t.Errorf("edge {0,1} weight = %d, want 3", w)
+	}
+	if w, _ := g.HasEdge(1, 2); w != 4 {
+		t.Errorf("edge {1,2} weight = %d, want 4", w)
+	}
+}
+
+func TestFromEdgesPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"out-of-range": func() { FromEdges(2, []Edge{{0, 5, 1}}) },
+		"inf-weight":   func() { FromEdges(2, []Edge{{0, 1, Inf}}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdges(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph should have no vertices or edges")
+	}
+	if !IsConnected(g) {
+		t.Error("empty graph counts as connected")
+	}
+	s := Summarize(g)
+	if s.N != 0 || s.M != 0 {
+		t.Error("empty summary wrong")
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1, 1}})
+	if g.NumVertices() != 5 {
+		t.Fatalf("n = %d, want 5", g.NumVertices())
+	}
+	if g.Degree(4) != 0 {
+		t.Errorf("Degree(4) = %d, want 0", g.Degree(4))
+	}
+	_, k := ConnectedComponents(g)
+	if k != 4 {
+		t.Errorf("components = %d, want 4", k)
+	}
+}
+
+func randomEdges(r *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: Vertex(r.Intn(n)),
+			V: Vertex(r.Intn(n)),
+			W: Dist(1 + r.Intn(100)),
+		}
+	}
+	return edges
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	// Rebuilding a graph from its own Edges() yields an identical graph.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(40)
+		g := FromEdges(n, randomEdges(r, n, 3*n))
+		g2 := FromEdges(n, g.Edges())
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("trial %d: round-trip through Edges() changed graph", trial)
+		}
+	}
+}
+
+func TestDegreeSumEquals2M(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(50)
+		g := FromEdges(n, randomEdges(r, n, 4*n))
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(Vertex(v))
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", sum, 2*g.NumEdges())
+		}
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	g := FromEdges(30, randomEdges(r, 30, 120))
+	for v := 0; v < g.NumVertices(); v++ {
+		ns, _ := g.Neighbors(Vertex(v))
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] >= ns[i] {
+				t.Fatalf("adjacency of %d not strictly sorted: %v", v, ns)
+			}
+		}
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := triangle()
+	perm := []Vertex{2, 0, 1} // old 0 -> new 2, etc.
+	h := g.Relabel(perm)
+	if w, ok := h.HasEdge(2, 0); !ok || w != 5 { // was {0,1,5}
+		t.Errorf("relabeled edge {2,0}: w=%d ok=%v", w, ok)
+	}
+	if w, ok := h.HasEdge(0, 1); !ok || w != 7 { // was {1,2,7}
+		t.Errorf("relabeled edge {0,1}: w=%d ok=%v", w, ok)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	g := FromEdges(7, []Edge{
+		{0, 1, 1}, {1, 2, 1}, {0, 2, 1},
+		{3, 4, 1}, {4, 5, 1}, {3, 5, 1},
+	})
+	labels, k := ConnectedComponents(g)
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first triangle split across components")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Error("second triangle split across components")
+	}
+	if labels[0] == labels[3] || labels[0] == labels[6] {
+		t.Error("components merged incorrectly")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g := FromEdges(7, []Edge{
+		{0, 1, 2}, {1, 2, 3}, {0, 2, 4}, {2, 6, 9}, // size-4 component
+		{3, 4, 1}, // size-2 component
+	})
+	sub, orig := LargestComponent(g)
+	if sub.NumVertices() != 4 {
+		t.Fatalf("largest component has %d vertices, want 4", sub.NumVertices())
+	}
+	want := []Vertex{0, 1, 2, 6}
+	if !reflect.DeepEqual(orig, want) {
+		t.Fatalf("origID = %v, want %v", orig, want)
+	}
+	if w, ok := sub.HasEdge(2, 3); !ok || w != 9 { // old {2,6,9}
+		t.Errorf("edge {2,6} lost: w=%d ok=%v", w, ok)
+	}
+	// Already-connected graph returns itself.
+	tri := triangle()
+	sub2, orig2 := LargestComponent(tri)
+	if sub2 != tri {
+		t.Error("connected graph should be returned as-is")
+	}
+	if !reflect.DeepEqual(orig2, []Vertex{0, 1, 2}) {
+		t.Errorf("identity origID wrong: %v", orig2)
+	}
+}
+
+func TestEdgeListIO(t *testing.T) {
+	g := triangle()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, g2) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListSparseIDs(t *testing.T) {
+	in := "# comment\n10 20 5\n20 30\n% another comment\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d, want 3,2", g.NumVertices(), g.NumEdges())
+	}
+	if w, ok := g.HasEdge(1, 2); !ok || w != 1 { // "20 30" defaults to weight 1
+		t.Errorf("default weight: w=%d ok=%v", w, ok)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"one-field":   "5\n",
+		"bad-vertex":  "a b\n",
+		"neg-vertex":  "-1 2\n",
+		"bad-weight":  "1 2 x\n",
+		"huge-weight": "1 2 99999999999\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+				t.Errorf("expected error for %q", in)
+			}
+		})
+	}
+}
+
+func TestReadDIMACS(t *testing.T) {
+	in := `c test graph
+p sp 3 4
+a 1 2 5
+a 2 1 5
+a 2 3 7
+a 1 3 20
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, triangle()) {
+		t.Fatal("DIMACS parse differs from expected triangle")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"no-header":    "a 1 2 3\n",
+		"bad-header":   "p max 3 4\n",
+		"out-of-range": "p sp 2 1\na 1 5 1\n",
+		"unknown":      "p sp 2 1\nz 1 2\n",
+		"missing":      "c only comments\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+				t.Errorf("expected error for %q", name)
+			}
+		})
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + r.Intn(60)
+		g := FromEdges(n, randomEdges(r, n, 3*n))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("trial %d: binary round trip changed the graph", trial)
+		}
+	}
+}
+
+func TestBinaryChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, triangle()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)/2] ^= 0xFF
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted stream accepted")
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}) // star
+	degs, counts := DegreeHistogram(g)
+	if !reflect.DeepEqual(degs, []int{1, 3}) || !reflect.DeepEqual(counts, []int{3, 1}) {
+		t.Fatalf("histogram = %v %v, want [1 3] [3 1]", degs, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != g.NumVertices() {
+		t.Errorf("histogram counts sum to %d, want %d", total, g.NumVertices())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := triangle()
+	s := Summarize(g)
+	if s.N != 3 || s.M != 3 || s.MinDegree != 2 || s.MaxDegree != 2 ||
+		s.Components != 1 || s.MinWeight != 5 || s.MaxWeight != 20 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if s.AvgDegree != 2 {
+		t.Errorf("AvgDegree = %v, want 2", s.AvgDegree)
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	// Star plus a pendant chain: center has highest degree.
+	g := FromEdges(6, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {3, 4, 1}, {4, 5, 1}})
+	order := DegreeOrder(g)
+	if order[0] != 0 {
+		t.Fatalf("order[0] = %d, want 0 (max degree)", order[0])
+	}
+	for i := 1; i < len(order); i++ {
+		di, dj := g.Degree(order[i-1]), g.Degree(order[i])
+		if di < dj {
+			t.Fatalf("order not degree-descending at %d: %d < %d", i, di, dj)
+		}
+		if di == dj && order[i-1] > order[i] {
+			t.Fatalf("tie not broken by id at %d", i)
+		}
+	}
+}
+
+func TestTotalWeightAndMaxDegree(t *testing.T) {
+	g := triangle()
+	if tw := g.TotalWeight(); tw != 32 {
+		t.Errorf("TotalWeight = %d, want 32", tw)
+	}
+	if md := g.MaxDegree(); md != 2 {
+		t.Errorf("MaxDegree = %d, want 2", md)
+	}
+}

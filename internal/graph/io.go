@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format: one "u v w" triple per line (w optional,
+// defaulting to 1), '#' or '%' comment lines ignored. This matches the
+// common SNAP export layout, so real datasets drop in directly.
+//
+// DIMACS .gr format (9th DIMACS challenge, used by the paper's TIGER road
+// networks): "p sp n m" header, "a u v w" arc lines with 1-based ids.
+//
+// Binary format: a fast checksummed cache ("PGPH" magic) used by the cmd/
+// tools to avoid re-parsing big text files.
+
+// WriteEdgeList writes g as a text edge list with one "u v w" line per
+// undirected edge (U < V).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# undirected weighted graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a text edge list. Vertex ids may be sparse or
+// unordered; they are compacted to [0,n) preserving numeric order. A
+// missing third column means weight 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected at least 2 fields, got %q", lineno, line)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineno, f[0], err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex %q: %v", lineno, f[1], err)
+		}
+		w := int64(1)
+		if len(f) >= 3 {
+			w, err = strconv.ParseInt(f[2], 10, 64)
+			if err != nil || w < 0 || w >= int64(Inf) {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineno, f[2])
+			}
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineno)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{U: Vertex(u), V: Vertex(v), W: Dist(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return compactAndBuild(maxID, edges), nil
+}
+
+// compactAndBuild renumbers possibly-sparse ids to a dense [0,n) range and
+// builds the graph.
+func compactAndBuild(maxID int64, edges []Edge) *Graph {
+	if maxID < 0 {
+		return FromEdges(0, nil)
+	}
+	seen := make([]bool, maxID+1)
+	for _, e := range edges {
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	remap := make([]Vertex, maxID+1)
+	n := 0
+	for i, s := range seen {
+		if s {
+			remap[i] = Vertex(n)
+			n++
+		}
+	}
+	for i := range edges {
+		edges[i].U = remap[edges[i].U]
+		edges[i].V = remap[edges[i].V]
+	}
+	return FromEdges(n, edges)
+}
+
+// ReadDIMACS parses the DIMACS shortest-path .gr format ("p sp n m" header,
+// "a u v w" arcs, 1-based vertex ids). Reverse arcs are collapsed by
+// FromEdges' normalization.
+func ReadDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var edges []Edge
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		switch line[0] {
+		case 'p':
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "sp" {
+				return nil, fmt.Errorf("graph: line %d: bad problem line %q", lineno, line)
+			}
+			var err error
+			n, err = strconv.Atoi(f[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineno, f[2])
+			}
+		case 'a':
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: arc before problem line", lineno)
+			}
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("graph: line %d: bad arc line %q", lineno, line)
+			}
+			u, err1 := strconv.ParseInt(f[1], 10, 32)
+			v, err2 := strconv.ParseInt(f[2], 10, 32)
+			w, err3 := strconv.ParseInt(f[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad arc %q", lineno, line)
+			}
+			if u < 1 || int(u) > n || v < 1 || int(v) > n || w < 0 || w >= int64(Inf) {
+				return nil, fmt.Errorf("graph: line %d: arc out of range %q", lineno, line)
+			}
+			edges = append(edges, Edge{U: Vertex(u - 1), V: Vertex(v - 1), W: Dist(w)})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineno, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return FromEdges(n, edges), nil
+}
+
+const binMagic = "PGPH"
+const binVersion = 1
+
+// WriteBinary writes g in the checksummed binary cache format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, crc)
+	if _, err := mw.Write([]byte(binMagic)); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], binVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.NumVertices()))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(g.adj)))
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, o := range g.off {
+		binary.LittleEndian.PutUint64(buf, uint64(o))
+		if _, err := mw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range g.adj {
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(g.adj[i]))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(g.wt[i]))
+		if _, err := mw.Write(buf); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], crc.Sum32())
+	if _, err := bw.Write(buf[0:4]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary, verifying the checksum.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(br, crc)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(tr, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != binVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	deg2 := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	g := &Graph{
+		off: make([]int64, n+1),
+		adj: make([]Vertex, deg2),
+		wt:  make([]Dist, deg2),
+	}
+	buf := make([]byte, 8)
+	for i := range g.off {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, err
+		}
+		g.off[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	for i := 0; i < deg2; i++ {
+		if _, err := io.ReadFull(tr, buf); err != nil {
+			return nil, err
+		}
+		g.adj[i] = Vertex(binary.LittleEndian.Uint32(buf[0:4]))
+		g.wt[i] = Dist(binary.LittleEndian.Uint32(buf[4:8]))
+	}
+	want := crc.Sum32()
+	if _, err := io.ReadFull(br, buf[0:4]); err != nil {
+		return nil, err
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:4]); got != want {
+		return nil, fmt.Errorf("graph: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	if g.off[0] != 0 || g.off[n] != int64(deg2) {
+		return nil, fmt.Errorf("graph: corrupt offsets")
+	}
+	return g, nil
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// arbitraryEdges reduces fuzzer-shaped triples into a valid edge list
+// over n vertices.
+func arbitraryEdges(n int, raw [][3]uint32) []Edge {
+	edges := make([]Edge, 0, len(raw))
+	for _, t := range raw {
+		edges = append(edges, Edge{
+			U: Vertex(t[0] % uint32(n)),
+			V: Vertex(t[1] % uint32(n)),
+			W: Dist(t[2]%100000 + 1),
+		})
+	}
+	return edges
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32) bool {
+		n := int(nRaw%40) + 2
+		once := NormalizeEdges(n, arbitraryEdges(n, raw))
+		twice := NormalizeEdges(n, once)
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizeInvariants(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32) bool {
+		n := int(nRaw%40) + 2
+		norm := NormalizeEdges(n, arbitraryEdges(n, raw))
+		for i, e := range norm {
+			if e.U >= e.V { // canonical orientation, no self-loops
+				return false
+			}
+			if i > 0 {
+				p := norm[i-1]
+				if p.U > e.U || (p.U == e.U && p.V >= e.V) { // sorted, unique
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHasEdgeSymmetric(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32, a, b uint8) bool {
+		n := int(nRaw%30) + 2
+		g := FromEdges(n, arbitraryEdges(n, raw))
+		u := Vertex(int(a) % n)
+		v := Vertex(int(b) % n)
+		w1, ok1 := g.HasEdge(u, v)
+		w2, ok2 := g.HasEdge(v, u)
+		return ok1 == ok2 && (!ok1 || w1 == w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32) bool {
+		n := int(nRaw%40) + 1
+		g := FromEdges(n, arbitraryEdges(n, raw))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentLabelsConsistent(t *testing.T) {
+	// Adjacent vertices always share a component label.
+	f := func(nRaw uint8, raw [][3]uint32) bool {
+		n := int(nRaw%40) + 2
+		g := FromEdges(n, arbitraryEdges(n, raw))
+		labels, k := ConnectedComponents(g)
+		for v := 0; v < n; v++ {
+			if labels[v] < 0 || int(labels[v]) >= k {
+				return false
+			}
+			ns, _ := g.Neighbors(Vertex(v))
+			for _, u := range ns {
+				if labels[u] != labels[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import "sort"
+
+// DegreeHistogram returns, for each degree value that occurs in g, the
+// number of vertices with that degree, as parallel sorted slices. This is
+// the data behind the paper's Figure 5 (vertex degree distribution).
+func DegreeHistogram(g *Graph) (degrees []int, counts []int) {
+	m := make(map[int]int)
+	for v := 0; v < g.NumVertices(); v++ {
+		m[g.Degree(Vertex(v))]++
+	}
+	degrees = make([]int, 0, len(m))
+	for d := range m {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = m[d]
+	}
+	return degrees, counts
+}
+
+// Summary holds headline statistics of a graph.
+type Summary struct {
+	N          int // vertices
+	M          int // undirected edges
+	MinDegree  int
+	MaxDegree  int
+	AvgDegree  float64
+	Components int
+	MaxWeight  Dist
+	MinWeight  Dist
+}
+
+// Summarize computes a Summary of g.
+func Summarize(g *Graph) Summary {
+	s := Summary{N: g.NumVertices(), M: g.NumEdges(), MinWeight: Inf}
+	if s.N == 0 {
+		s.MinWeight = 0
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	for v := 0; v < s.N; v++ {
+		d := g.Degree(Vertex(v))
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		_, ws := g.Neighbors(Vertex(v))
+		for _, w := range ws {
+			if w > s.MaxWeight {
+				s.MaxWeight = w
+			}
+			if w < s.MinWeight {
+				s.MinWeight = w
+			}
+		}
+	}
+	if s.M == 0 {
+		s.MinWeight = 0
+	}
+	s.AvgDegree = 2 * float64(s.M) / float64(s.N)
+	_, s.Components = ConnectedComponents(g)
+	return s
+}
+
+// DegreeOrder returns the vertices of g sorted by degree descending,
+// ties broken by smaller vertex id first. This is the paper's canonical
+// computing sequence ("from higher degree to lower degree", §4.2).
+func DegreeOrder(g *Graph) []Vertex {
+	n := g.NumVertices()
+	order := make([]Vertex, n)
+	for i := range order {
+		order[i] = Vertex(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}

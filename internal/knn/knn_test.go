@@ -1,0 +1,193 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parapll/internal/core"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+)
+
+func randomGraph(r *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(v)), V: graph.Vertex(v), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	for i := 0; i < extra; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n)), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// oracleKNN returns the sorted distances of the k nearest vertices to s
+// (excluding s, excluding unreachable).
+func oracleKNN(g *graph.Graph, s graph.Vertex, k int) []graph.Dist {
+	d := sssp.Dijkstra(g, s)
+	var ds []graph.Dist
+	for v, dv := range d {
+		if graph.Vertex(v) != s && dv != graph.Inf {
+			ds = append(ds, dv)
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	if len(ds) > k {
+		ds = ds[:k]
+	}
+	return ds
+}
+
+func TestKNNMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(800))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(r, 20+r.Intn(50), 100)
+		inv := New(pll.Build(g, pll.Options{}))
+		truth := func(s graph.Vertex) []graph.Dist { return sssp.Dijkstra(g, s) }
+		for _, k := range []int{1, 3, 10, 1000} {
+			for probe := 0; probe < 5; probe++ {
+				s := graph.Vertex(r.Intn(g.NumVertices()))
+				got := inv.Query(s, k)
+				want := oracleKNN(g, s, k)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d k=%d s=%d: got %d results, want %d",
+						trial, k, s, len(got), len(want))
+				}
+				exact := truth(s)
+				for i, res := range got {
+					if res.D != want[i] {
+						t.Fatalf("trial %d k=%d s=%d: result %d has distance %d, want %d",
+							trial, k, s, i, res.D, want[i])
+					}
+					if res.D != exact[res.V] {
+						t.Fatalf("trial %d: reported d(%d,%d)=%d but true is %d",
+							trial, s, res.V, res.D, exact[res.V])
+					}
+					if res.V == s {
+						t.Fatalf("result includes the query vertex")
+					}
+				}
+				// Sorted by distance, ids break ties.
+				for i := 1; i < len(got); i++ {
+					if got[i-1].D > got[i].D ||
+						(got[i-1].D == got[i].D && got[i-1].V >= got[i].V) {
+						t.Fatalf("results not sorted: %v", got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKNNParallelIndex(t *testing.T) {
+	// kNN over a parallel-built (redundant-label) index must still be
+	// exact: redundant entries only add dominated candidates.
+	r := rand.New(rand.NewSource(801))
+	g := randomGraph(r, 60, 150)
+	inv := New(core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic}))
+	for probe := 0; probe < 10; probe++ {
+		s := graph.Vertex(r.Intn(g.NumVertices()))
+		got := inv.Query(s, 5)
+		want := oracleKNN(g, s, 5)
+		if len(got) != len(want) {
+			t.Fatalf("s=%d: %d results, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].D != want[i] {
+				t.Fatalf("s=%d result %d: %d, want %d", s, i, got[i].D, want[i])
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 5}, {U: 2, V: 3, W: 7}})
+	inv := New(pll.Build(g, pll.Options{}))
+	if got := inv.Query(0, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := inv.Query(0, -3); got != nil {
+		t.Fatalf("negative k returned %v", got)
+	}
+	// Component of 0 has only one other vertex.
+	got := inv.Query(0, 10)
+	if len(got) != 1 || got[0].V != 1 || got[0].D != 5 {
+		t.Fatalf("small component kNN = %v", got)
+	}
+}
+
+func TestKNNOnPowerLaw(t *testing.T) {
+	g := gen.ChungLu(800, 3200, 2.2, 41)
+	inv := New(core.Build(g, core.Options{Threads: 2, Policy: core.Dynamic}))
+	r := rand.New(rand.NewSource(802))
+	for probe := 0; probe < 5; probe++ {
+		s := graph.Vertex(r.Intn(g.NumVertices()))
+		got := inv.Query(s, 20)
+		want := oracleKNN(g, s, 20)
+		if len(got) != len(want) {
+			t.Fatalf("s=%d: %d results, want %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].D != want[i] {
+				t.Fatalf("s=%d result %d: dist %d, want %d", s, i, got[i].D, want[i])
+			}
+		}
+	}
+}
+
+func TestWithinMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(803))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(r, 20+r.Intn(50), 100)
+		inv := New(pll.Build(g, pll.Options{}))
+		for probe := 0; probe < 5; probe++ {
+			s := graph.Vertex(r.Intn(g.NumVertices()))
+			radius := graph.Dist(r.Intn(80))
+			got := inv.Within(s, radius)
+			truth := sssp.Dijkstra(g, s)
+			want := map[graph.Vertex]graph.Dist{}
+			for v, d := range truth {
+				if graph.Vertex(v) != s && d <= radius {
+					want[graph.Vertex(v)] = d
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d s=%d r=%d: got %d vertices, want %d",
+					trial, s, radius, len(got), len(want))
+			}
+			for i, res := range got {
+				if want[res.V] != res.D {
+					t.Fatalf("trial %d: d(%d,%d) = %d, want %d", trial, s, res.V, res.D, want[res.V])
+				}
+				if i > 0 && (got[i-1].D > res.D || (got[i-1].D == res.D && got[i-1].V >= res.V)) {
+					t.Fatal("Within results not sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestWithinZeroRadius(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 0}, {U: 1, V: 2, W: 5}})
+	inv := New(pll.Build(g, pll.Options{}))
+	got := inv.Within(0, 0)
+	// Vertex 1 is at distance 0 over the zero-weight edge.
+	if len(got) != 1 || got[0].V != 1 || got[0].D != 0 {
+		t.Fatalf("zero-radius Within = %v", got)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 42)
+	inv := New(core.Build(g, core.Options{Threads: 4, Policy: core.Dynamic}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv.Query(graph.Vertex(i%g.NumVertices()), 10)
+	}
+}

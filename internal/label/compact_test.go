@@ -1,0 +1,110 @@
+package label
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+func randomIndex(seed int64, n, perVertex int) *Index {
+	r := rand.New(rand.NewSource(seed))
+	s := NewStore(n)
+	for v := 0; v < n; v++ {
+		k := r.Intn(perVertex + 1)
+		for j := 0; j < k; j++ {
+			s.Append(graph.Vertex(v), graph.Vertex(r.Intn(n)), graph.Dist(r.Intn(100000)))
+		}
+	}
+	return NewIndex(s)
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		x    *Index
+	}{
+		{"empty", NewIndex(NewStore(0))},
+		{"no-labels", NewIndex(NewStore(7))},
+		{"random-small", randomIndex(1, 20, 5)},
+		{"random-large", randomIndex(2, 300, 40)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.x.WriteCompact(&buf); err != nil {
+				t.Fatal(err)
+			}
+			y, err := ReadCompact(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Normalize nil-vs-empty slices before comparing.
+			if tc.x.NumEntries() == 0 && y.NumEntries() == 0 {
+				if tc.x.NumVertices() != y.NumVertices() {
+					t.Fatal("vertex count changed")
+				}
+				return
+			}
+			if !reflect.DeepEqual(tc.x, y) {
+				t.Fatal("compact round trip changed index")
+			}
+		})
+	}
+}
+
+func TestCompactSmallerThanFixed(t *testing.T) {
+	x := randomIndex(3, 500, 30)
+	var fixed, compact bytes.Buffer
+	if err := x.Write(&fixed); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteCompact(&compact); err != nil {
+		t.Fatal(err)
+	}
+	if compact.Len() >= fixed.Len() {
+		t.Fatalf("compact %d bytes >= fixed %d bytes", compact.Len(), fixed.Len())
+	}
+	t.Logf("fixed %d bytes, compact %d bytes (%.1fx smaller)",
+		fixed.Len(), compact.Len(), float64(fixed.Len())/float64(compact.Len()))
+}
+
+func TestCompactQueriesMatch(t *testing.T) {
+	x := randomIndex(4, 100, 20)
+	var buf bytes.Buffer
+	if err := x.WriteCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for q := 0; q < 200; q++ {
+		a, b := graph.Vertex(r.Intn(100)), graph.Vertex(r.Intn(100))
+		if x.Query(a, b) != y.Query(a, b) {
+			t.Fatalf("query (%d,%d) differs after compact round trip", a, b)
+		}
+	}
+}
+
+func TestCompactCorruption(t *testing.T) {
+	x := randomIndex(6, 50, 10)
+	var buf bytes.Buffer
+	if err := x.WriteCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Flip a byte near the end (in the payload, before the checksum).
+	b[len(b)-8] ^= 0x41
+	if _, err := ReadCompact(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted compact stream accepted")
+	}
+	if _, err := ReadCompact(bytes.NewReader([]byte("JUNK1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadCompact(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,255 @@
+package label
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"parapll/internal/graph"
+)
+
+// Index is the immutable, query-optimized form of a label set. Per-vertex
+// entries are stored in one flat, hub-sorted, deduplicated array, so a
+// distance query is a single merge-intersection of two sorted runs —
+// exactly the paper's QUERY(s,t,L) = min over common hubs u of
+// σ(P(u,s)) + σ(P(u,t)).
+type Index struct {
+	off   []int64        // len n+1
+	hubs  []graph.Vertex // flat, sorted by hub within each vertex run
+	dists []graph.Dist
+}
+
+// NewIndex finalizes a Store into an Index: every label list is sorted by
+// hub id and duplicate hubs are collapsed to their minimum distance.
+func NewIndex(s *Store) *Index {
+	n := s.NumVertices()
+	lists := make([][]Entry, n)
+	for v := 0; v < n; v++ {
+		lists[v] = s.Snapshot(graph.Vertex(v))
+	}
+	return NewIndexFromLists(lists)
+}
+
+// NewIndexFromLists finalizes per-vertex label lists (as built by the
+// serial PLL, which needs no concurrent Store) into an Index. Each list is
+// sorted by hub and deduplicated to its minimum distance, like NewIndex.
+func NewIndexFromLists(lists [][]Entry) *Index {
+	sorted := make([][]Entry, len(lists))
+	for v, l := range lists {
+		list := make([]Entry, len(l))
+		copy(list, l)
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Hub != list[j].Hub {
+				return list[i].Hub < list[j].Hub
+			}
+			return list[i].D < list[j].D
+		})
+		out := list[:0]
+		for _, e := range list {
+			if len(out) > 0 && out[len(out)-1].Hub == e.Hub {
+				continue
+			}
+			out = append(out, e)
+		}
+		sorted[v] = out
+	}
+	return fromLists(sorted)
+}
+
+func fromLists(lists [][]Entry) *Index {
+	n := len(lists)
+	idx := &Index{off: make([]int64, n+1)}
+	total := 0
+	for v, l := range lists {
+		total += len(l)
+		idx.off[v+1] = int64(total)
+	}
+	idx.hubs = make([]graph.Vertex, total)
+	idx.dists = make([]graph.Dist, total)
+	pos := 0
+	for _, l := range lists {
+		for _, e := range l {
+			idx.hubs[pos] = e.Hub
+			idx.dists[pos] = e.D
+			pos++
+		}
+	}
+	return idx
+}
+
+// NumVertices returns the number of labeled vertices.
+func (x *Index) NumVertices() int { return len(x.off) - 1 }
+
+// NumEntries returns the total number of label entries.
+func (x *Index) NumEntries() int64 { return x.off[len(x.off)-1] }
+
+// AvgLabelSize returns the mean entries per vertex — the paper's LN metric
+// reported in Tables 3–5.
+func (x *Index) AvgLabelSize() float64 {
+	n := x.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(x.NumEntries()) / float64(n)
+}
+
+// MemoryBytes returns the in-memory footprint of the index's arrays
+// (offsets + hubs + distances). The paper reports this linear-in-(n·LN)
+// quantity peaking at 2.2 GB in its evaluation.
+func (x *Index) MemoryBytes() int64 {
+	return int64(len(x.off))*8 + int64(len(x.hubs))*4 + int64(len(x.dists))*4
+}
+
+// LabelSize returns |L(v)|.
+func (x *Index) LabelSize(v graph.Vertex) int {
+	return int(x.off[v+1] - x.off[v])
+}
+
+// Label returns v's entries (hub-sorted). The slices alias internal
+// storage and must not be modified.
+func (x *Index) Label(v graph.Vertex) ([]graph.Vertex, []graph.Dist) {
+	lo, hi := x.off[v], x.off[v+1]
+	return x.hubs[lo:hi], x.dists[lo:hi]
+}
+
+// Query returns the shortest-path distance between s and t, or graph.Inf
+// if no common hub covers the pair (disconnected). Complexity is
+// O(|L(s)| + |L(t)|).
+func (x *Index) Query(s, t graph.Vertex) graph.Dist {
+	if s == t {
+		return 0
+	}
+	sh, sd := x.Label(s)
+	th, td := x.Label(t)
+	best := graph.Inf
+	i, j := 0, 0
+	for i < len(sh) && j < len(th) {
+		switch {
+		case sh[i] < th[j]:
+			i++
+		case sh[i] > th[j]:
+			j++
+		default:
+			if d := graph.AddDist(sd[i], td[j]); d < best {
+				best = d
+			}
+			i++
+			j++
+		}
+	}
+	return best
+}
+
+// QueryWithHub is Query but also reports the meeting hub achieving the
+// minimum (useful for path reconstruction and diagnostics). hub is -1 when
+// the pair is disconnected; for s == t it returns (0, s).
+func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	if s == t {
+		return 0, s
+	}
+	sh, sd := x.Label(s)
+	th, td := x.Label(t)
+	best := graph.Inf
+	hub := graph.Vertex(-1)
+	i, j := 0, 0
+	for i < len(sh) && j < len(th) {
+		switch {
+		case sh[i] < th[j]:
+			i++
+		case sh[i] > th[j]:
+			j++
+		default:
+			if d := graph.AddDist(sd[i], td[j]); d < best {
+				best = d
+				hub = sh[i]
+			}
+			i++
+			j++
+		}
+	}
+	return best, hub
+}
+
+// QueryBatch answers many (s,t) pairs, fanning out over `threads`
+// goroutines (<= 0 means GOMAXPROCS). The index is immutable, so
+// concurrent queries need no synchronization; this exists because batch
+// distance jobs (closeness ranking, distance matrices) are the common
+// production query shape.
+func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(pairs) {
+		threads = len(pairs)
+	}
+	out := make([]graph.Dist, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = x.Query(pairs[i][0], pairs[i][1])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Remap translates an index built in a relabeled id space back to the
+// original ids: newToOld[i] is the original id of relabeled vertex i.
+// Row v of the result is row newToOld⁻¹(v) of x with every hub h
+// replaced by newToOld[h], re-sorted. Used by the rank-relabeled build
+// optimization.
+func (x *Index) Remap(newToOld []graph.Vertex) *Index {
+	n := x.NumVertices()
+	if len(newToOld) != n {
+		panic("label: Remap mapping has wrong length")
+	}
+	oldToNew := make([]graph.Vertex, n)
+	for newID, oldID := range newToOld {
+		oldToNew[oldID] = graph.Vertex(newID)
+	}
+	lists := make([][]Entry, n)
+	for oldV := 0; oldV < n; oldV++ {
+		newV := oldToNew[oldV]
+		hubs, dists := x.Label(newV)
+		row := make([]Entry, len(hubs))
+		for i, h := range hubs {
+			row[i] = Entry{Hub: newToOld[h], D: dists[i]}
+		}
+		lists[oldV] = row
+	}
+	return NewIndexFromLists(lists)
+}
+
+// LabelSizeHistogram returns counts of vertices by label-list length,
+// as parallel (size, count) slices sorted by size.
+func (x *Index) LabelSizeHistogram() (sizes []int, counts []int) {
+	m := make(map[int]int)
+	for v := 0; v < x.NumVertices(); v++ {
+		m[x.LabelSize(graph.Vertex(v))]++
+	}
+	for s := range m {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	counts = make([]int, len(sizes))
+	for i, s := range sizes {
+		counts[i] = m[s]
+	}
+	return sizes, counts
+}

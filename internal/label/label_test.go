@@ -1,0 +1,329 @@
+package label
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+func TestStoreBasic(t *testing.T) {
+	s := NewStore(3)
+	if s.NumVertices() != 3 || s.TotalEntries() != 0 {
+		t.Fatal("empty store wrong")
+	}
+	s.Append(1, 0, 5)
+	s.Append(1, 2, 7)
+	if s.Len(1) != 2 || s.Len(0) != 0 {
+		t.Fatalf("Len = %d,%d", s.Len(1), s.Len(0))
+	}
+	snap := s.Snapshot(1)
+	want := []Entry{{Hub: 0, D: 5}, {Hub: 2, D: 7}}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	if s.TotalEntries() != 2 {
+		t.Fatalf("total = %d, want 2", s.TotalEntries())
+	}
+}
+
+func TestStoreSnapshotImmutable(t *testing.T) {
+	s := NewStore(1)
+	s.Append(0, 1, 10)
+	snap1 := s.Snapshot(0)
+	for i := 0; i < 100; i++ {
+		s.Append(0, graph.Vertex(i+2), graph.Dist(i))
+	}
+	if len(snap1) != 1 || snap1[0] != (Entry{Hub: 1, D: 10}) {
+		t.Fatalf("old snapshot mutated: %v", snap1)
+	}
+	if s.Len(0) != 101 {
+		t.Fatalf("Len = %d, want 101", s.Len(0))
+	}
+}
+
+func TestStoreBulkAppend(t *testing.T) {
+	s := NewStore(2)
+	s.Append(0, 5, 50)
+	s.BulkAppend(0, []Entry{{Hub: 6, D: 60}, {Hub: 7, D: 70}})
+	s.BulkAppend(0, nil) // no-op
+	want := []Entry{{Hub: 5, D: 50}, {Hub: 6, D: 60}, {Hub: 7, D: 70}}
+	if got := s.Snapshot(0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	if s.TotalEntries() != 3 {
+		t.Fatalf("total = %d, want 3", s.TotalEntries())
+	}
+}
+
+// TestStoreConcurrent hammers the store from many goroutines: writers
+// append while readers take snapshots. Run with -race this validates the
+// lock-free read design.
+func TestStoreConcurrent(t *testing.T) {
+	const n = 16
+	const writers = 8
+	const perWriter = 500
+	s := NewStore(n)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				v := graph.Vertex(r.Intn(n))
+				s.Append(v, graph.Vertex(w), graph.Dist(i))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for rdr := 0; rdr < 4; rdr++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for v := graph.Vertex(0); v < n; v++ {
+					snap := s.Snapshot(v)
+					// Every visible entry must be fully written.
+					for _, e := range snap {
+						if e.Hub < 0 || int(e.Hub) >= writers {
+							panic("torn read: bad hub")
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if s.TotalEntries() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", s.TotalEntries(), writers*perWriter)
+	}
+	sum := 0
+	for v := graph.Vertex(0); v < n; v++ {
+		sum += s.Len(v)
+	}
+	if sum != writers*perWriter {
+		t.Fatalf("per-vertex lengths sum to %d, want %d", sum, writers*perWriter)
+	}
+}
+
+func TestIndexSortsAndDedupes(t *testing.T) {
+	s := NewStore(2)
+	// Out-of-order appends with a duplicate hub (keep min dist).
+	s.Append(0, 9, 90)
+	s.Append(0, 3, 30)
+	s.Append(0, 9, 50)
+	s.Append(0, 3, 35)
+	x := NewIndex(s)
+	hubs, dists := x.Label(0)
+	if !reflect.DeepEqual(hubs, []graph.Vertex{3, 9}) {
+		t.Fatalf("hubs = %v, want [3 9]", hubs)
+	}
+	if !reflect.DeepEqual(dists, []graph.Dist{30, 50}) {
+		t.Fatalf("dists = %v, want [30 50]", dists)
+	}
+	if x.LabelSize(0) != 2 || x.LabelSize(1) != 0 {
+		t.Fatal("label sizes wrong")
+	}
+	if x.NumEntries() != 2 {
+		t.Fatalf("NumEntries = %d", x.NumEntries())
+	}
+	if x.AvgLabelSize() != 1.0 {
+		t.Fatalf("AvgLabelSize = %v, want 1", x.AvgLabelSize())
+	}
+}
+
+func TestIndexQuery(t *testing.T) {
+	s := NewStore(3)
+	// L(0) = {(0,0),(2,8)}; L(1) = {(0,4),(2,3)}: meet at hub 0 -> 4, hub 2 -> 11.
+	s.Append(0, 0, 0)
+	s.Append(0, 2, 8)
+	s.Append(1, 0, 4)
+	s.Append(1, 2, 3)
+	x := NewIndex(s)
+	if d := x.Query(0, 1); d != 4 {
+		t.Fatalf("Query = %d, want 4", d)
+	}
+	d, hub := x.QueryWithHub(0, 1)
+	if d != 4 || hub != 0 {
+		t.Fatalf("QueryWithHub = (%d,%d), want (4,0)", d, hub)
+	}
+	if d := x.Query(1, 1); d != 0 {
+		t.Fatalf("self query = %d, want 0", d)
+	}
+	if d, h := x.QueryWithHub(2, 2); d != 0 || h != 2 {
+		t.Fatalf("self QueryWithHub = (%d,%d)", d, h)
+	}
+	// Vertex 2 has no labels: disconnected.
+	if d := x.Query(0, 2); d != graph.Inf {
+		t.Fatalf("disconnected query = %d, want Inf", d)
+	}
+	if _, h := x.QueryWithHub(0, 2); h != -1 {
+		t.Fatalf("disconnected hub = %d, want -1", h)
+	}
+}
+
+func TestIndexQuerySymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	s := NewStore(20)
+	for i := 0; i < 200; i++ {
+		s.Append(graph.Vertex(r.Intn(20)), graph.Vertex(r.Intn(20)), graph.Dist(r.Intn(100)))
+	}
+	x := NewIndex(s)
+	for i := 0; i < 100; i++ {
+		a, b := graph.Vertex(r.Intn(20)), graph.Vertex(r.Intn(20))
+		if x.Query(a, b) != x.Query(b, a) {
+			t.Fatalf("Query(%d,%d) asymmetric", a, b)
+		}
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	x := NewIndex(NewStore(0))
+	if x.NumVertices() != 0 || x.NumEntries() != 0 || x.AvgLabelSize() != 0 {
+		t.Fatal("empty index wrong")
+	}
+}
+
+func TestLabelSizeHistogram(t *testing.T) {
+	s := NewStore(3)
+	s.Append(0, 1, 1)
+	s.Append(0, 2, 2)
+	s.Append(1, 1, 1)
+	x := NewIndex(s)
+	sizes, counts := x.LabelSizeHistogram()
+	if !reflect.DeepEqual(sizes, []int{0, 1, 2}) || !reflect.DeepEqual(counts, []int{1, 1, 1}) {
+		t.Fatalf("histogram = %v %v", sizes, counts)
+	}
+}
+
+func TestIndexRemap(t *testing.T) {
+	s := NewStore(3)
+	// Index in "new" id space: new0 was old2, new1 was old0, new2 was old1.
+	s.Append(0, 1, 10) // L(new0) = {(new1,10)}
+	s.Append(2, 0, 20) // L(new2) = {(new0,20)}
+	x := NewIndex(s)
+	newToOld := []graph.Vertex{2, 0, 1}
+	y := x.Remap(newToOld)
+	// old2 (= new0) must have hub old0 (= new1) at 10.
+	hubs, dists := y.Label(2)
+	if len(hubs) != 1 || hubs[0] != 0 || dists[0] != 10 {
+		t.Fatalf("L(old2) = %v %v, want [(0,10)]", hubs, dists)
+	}
+	// old1 (= new2) must have hub old2 (= new0) at 20.
+	hubs, dists = y.Label(1)
+	if len(hubs) != 1 || hubs[0] != 2 || dists[0] != 20 {
+		t.Fatalf("L(old1) = %v %v, want [(2,20)]", hubs, dists)
+	}
+	if y.NumEntries() != x.NumEntries() {
+		t.Fatal("Remap changed entry count")
+	}
+}
+
+func TestIndexRemapValidatesLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIndex(NewStore(3)).Remap([]graph.Vertex{0})
+}
+
+func TestIndexIORoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := NewStore(50)
+	for i := 0; i < 500; i++ {
+		s.Append(graph.Vertex(r.Intn(50)), graph.Vertex(r.Intn(50)), graph.Dist(r.Intn(1000)))
+	}
+	x := NewIndex(s)
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("index IO round trip changed index")
+	}
+}
+
+func TestIndexIOCorruption(t *testing.T) {
+	s := NewStore(3)
+	s.Append(0, 1, 2)
+	x := NewIndex(s)
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-6] ^= 0x55
+	if _, err := ReadIndex(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted index accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	s := NewStore(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(graph.Vertex(i%1024), graph.Vertex(i%512), graph.Dist(i))
+	}
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	s := NewStore(1000)
+	for v := 0; v < 1000; v++ {
+		for j := 0; j < 64; j++ {
+			s.Append(graph.Vertex(v), graph.Vertex(r.Intn(200)), graph.Dist(r.Intn(10000)))
+		}
+	}
+	x := NewIndex(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Query(graph.Vertex(i%1000), graph.Vertex((i*7)%1000))
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	s := NewStore(60)
+	for i := 0; i < 600; i++ {
+		s.Append(graph.Vertex(r.Intn(60)), graph.Vertex(r.Intn(60)), graph.Dist(r.Intn(500)))
+	}
+	x := NewIndex(s)
+	pairs := make([][2]graph.Vertex, 500)
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(r.Intn(60)), graph.Vertex(r.Intn(60))}
+	}
+	for _, threads := range []int{0, 1, 3, 16} {
+		got := x.QueryBatch(pairs, threads)
+		for i, p := range pairs {
+			if got[i] != x.Query(p[0], p[1]) {
+				t.Fatalf("threads=%d pair %d: batch %d != single %d", threads, i, got[i], x.Query(p[0], p[1]))
+			}
+		}
+	}
+	if out := x.QueryBatch(nil, 4); len(out) != 0 {
+		t.Fatal("empty batch returned results")
+	}
+}

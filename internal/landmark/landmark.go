@@ -1,0 +1,225 @@
+// Package landmark implements landmark-based approximate distance
+// estimation (Potamias, Bonchi, Castillo, Gionis — CIKM 2009, the
+// paper's reference [18], whose ψ centrality also motivates ParaPLL's
+// computing sequence). It is the classic cheap alternative to an exact
+// 2-hop index: pick k landmarks, store one distance vector per landmark,
+// and sandwich the true distance with triangle-inequality bounds:
+//
+//	max_i |d(l_i,s) − d(l_i,t)|  ≤  d(s,t)  ≤  min_i d(l_i,s) + d(l_i,t)
+//
+// Indexing is k Dijkstras (embarrassingly parallel); queries are O(k).
+// The benches compare its error and speed against ParaPLL's exact index,
+// quantifying what exactness costs.
+package landmark
+
+import (
+	"runtime"
+	"sync"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/sssp"
+)
+
+// Strategy selects how landmarks are chosen.
+type Strategy int
+
+// Landmark selection strategies, in increasing selection cost.
+const (
+	// SelectRandom picks k uniform random vertices.
+	SelectRandom Strategy = iota
+	// SelectDegree picks the k highest-degree vertices — the analogue of
+	// ParaPLL's ordering policy, strong on power-law graphs.
+	SelectDegree
+	// SelectFarthest greedily picks each next landmark as the vertex
+	// farthest from all chosen so far (good geometric coverage, best on
+	// road networks; costs one extra Dijkstra per landmark).
+	SelectFarthest
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case SelectRandom:
+		return "random"
+	case SelectDegree:
+		return "degree"
+	case SelectFarthest:
+		return "farthest"
+	default:
+		return "unknown"
+	}
+}
+
+// Index holds k landmark distance vectors.
+type Index struct {
+	landmarks []graph.Vertex
+	dist      [][]graph.Dist // dist[i][v] = d(landmarks[i], v)
+	isLm      map[graph.Vertex]int
+}
+
+// Options configures a landmark index build.
+type Options struct {
+	// K is the number of landmarks (>= 1; clamped to n).
+	K int
+	// Strategy selects the landmarks (default SelectDegree).
+	Strategy Strategy
+	// Seed feeds SelectRandom and tie-breaking.
+	Seed uint64
+	// Threads bounds the parallel Dijkstra workers; <= 0 means all cores.
+	Threads int
+}
+
+// Build constructs the landmark index.
+func Build(g *graph.Graph, opt Options) *Index {
+	n := g.NumVertices()
+	k := opt.K
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	var lms []graph.Vertex
+	switch opt.Strategy {
+	case SelectRandom:
+		r := gen.NewRNG(opt.Seed)
+		perm := r.Perm(n)
+		for _, v := range perm[:k] {
+			lms = append(lms, graph.Vertex(v))
+		}
+	case SelectFarthest:
+		lms = selectFarthest(g, k, opt.Seed)
+	default:
+		ord := graph.DegreeOrder(g)
+		lms = append(lms, ord[:k]...)
+	}
+
+	x := &Index{
+		landmarks: lms,
+		dist:      make([][]graph.Dist, len(lms)),
+		isLm:      make(map[graph.Vertex]int, len(lms)),
+	}
+	for i, l := range lms {
+		x.isLm[l] = i
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(lms) {
+		threads = len(lms)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(lms) {
+					return
+				}
+				x.dist[i] = sssp.Dijkstra(g, lms[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return x
+}
+
+// selectFarthest greedily picks each next landmark farthest from the
+// chosen set (starting from the highest-degree vertex). Unreachable
+// vertices (distance Inf) are preferred exactly once per component.
+func selectFarthest(g *graph.Graph, k int, seed uint64) []graph.Vertex {
+	n := g.NumVertices()
+	lms := make([]graph.Vertex, 0, k)
+	best := make([]graph.Dist, n) // distance to nearest chosen landmark
+	for i := range best {
+		best[i] = graph.Inf
+	}
+	cur := graph.DegreeOrder(g)[0]
+	for len(lms) < k {
+		lms = append(lms, cur)
+		d := sssp.Dijkstra(g, cur)
+		for v := 0; v < n; v++ {
+			if d[v] < best[v] {
+				best[v] = d[v]
+			}
+		}
+		// Farthest vertex from the chosen set; Inf (other component) wins.
+		far := graph.Vertex(0)
+		for v := 1; v < n; v++ {
+			if best[v] > best[far] {
+				far = graph.Vertex(v)
+			}
+		}
+		if best[far] == 0 {
+			break // every vertex is a landmark already
+		}
+		cur = far
+	}
+	return lms
+}
+
+// K returns the number of landmarks.
+func (x *Index) K() int { return len(x.landmarks) }
+
+// Landmarks returns the landmark vertices (do not modify).
+func (x *Index) Landmarks() []graph.Vertex { return x.landmarks }
+
+// Upper returns the landmark upper bound min_i d(l,s)+d(l,t). It is
+// exact when s or t is a landmark, or when some shortest path passes
+// through one.
+func (x *Index) Upper(s, t graph.Vertex) graph.Dist {
+	if s == t {
+		return 0
+	}
+	// If either endpoint is a landmark the stored vector is exact.
+	if i, ok := x.isLm[s]; ok {
+		return x.dist[i][t]
+	}
+	if i, ok := x.isLm[t]; ok {
+		return x.dist[i][s]
+	}
+	best := graph.Inf
+	for i := range x.dist {
+		if d := graph.AddDist(x.dist[i][s], x.dist[i][t]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Lower returns the triangle-inequality lower bound max_i |d(l,s)−d(l,t)|.
+// Unreachable landmark pairs contribute nothing.
+func (x *Index) Lower(s, t graph.Vertex) graph.Dist {
+	if s == t {
+		return 0
+	}
+	var best graph.Dist
+	for i := range x.dist {
+		ds, dt := x.dist[i][s], x.dist[i][t]
+		if ds == graph.Inf || dt == graph.Inf {
+			if (ds == graph.Inf) != (dt == graph.Inf) {
+				return graph.Inf // different components: truly unreachable
+			}
+			continue
+		}
+		var diff graph.Dist
+		if ds > dt {
+			diff = ds - dt
+		} else {
+			diff = dt - ds
+		}
+		if diff > best {
+			best = diff
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package landmark
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/sssp"
+)
+
+func randomGraph(r *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(v)), V: graph.Vertex(v), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	for i := 0; i < extra; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n)), W: graph.Dist(1 + r.Intn(30)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TestBoundsSandwichTruth is the core property: Lower <= true <= Upper
+// for every pair, every strategy.
+func TestBoundsSandwichTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(500))
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(r, 20+r.Intn(30), 80)
+		n := g.NumVertices()
+		for _, strat := range []Strategy{SelectRandom, SelectDegree, SelectFarthest} {
+			x := Build(g, Options{K: 5, Strategy: strat, Seed: uint64(trial), Threads: 2})
+			for s := graph.Vertex(0); int(s) < n; s++ {
+				truth := sssp.Dijkstra(g, s)
+				for u := graph.Vertex(0); int(u) < n; u++ {
+					lo, hi := x.Lower(s, u), x.Upper(s, u)
+					if lo > truth[u] || truth[u] > hi {
+						t.Fatalf("%v: bounds [%d,%d] miss true %d for (%d,%d)",
+							strat, lo, hi, truth[u], s, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExactAtLandmarks(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	g := randomGraph(r, 40, 80)
+	x := Build(g, Options{K: 4, Strategy: SelectDegree})
+	for _, l := range x.Landmarks() {
+		truth := sssp.Dijkstra(g, l)
+		for u := graph.Vertex(0); int(u) < g.NumVertices(); u++ {
+			if got := x.Upper(l, u); got != truth[u] {
+				t.Fatalf("Upper(%d,%d) = %d, want exact %d", l, u, got, truth[u])
+			}
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 2}, {U: 2, V: 3, W: 3}})
+	x := Build(g, Options{K: 2, Strategy: SelectFarthest})
+	if lo := x.Lower(0, 2); lo != graph.Inf {
+		t.Fatalf("cross-component Lower = %d, want Inf", lo)
+	}
+	if hi := x.Upper(0, 2); hi != graph.Inf {
+		t.Fatalf("cross-component Upper = %d, want Inf", hi)
+	}
+	if x.Upper(0, 1) == graph.Inf {
+		t.Fatal("same-component pair reported unreachable")
+	}
+}
+
+func TestKClamping(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(502)), 5, 5)
+	x := Build(g, Options{K: 100})
+	if x.K() > 5 {
+		t.Fatalf("K = %d, want <= n", x.K())
+	}
+	x0 := Build(g, Options{K: 0})
+	if x0.K() != 1 {
+		t.Fatalf("K=0 should clamp to 1, got %d", x0.K())
+	}
+}
+
+func TestFarthestSpread(t *testing.T) {
+	// On a long path graph, farthest-first selection must hit both ends
+	// rather than clustering, unlike degree selection.
+	n := 50
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: graph.Vertex(i), V: graph.Vertex(i + 1), W: 1}
+	}
+	g := graph.FromEdges(n, edges)
+	x := Build(g, Options{K: 2, Strategy: SelectFarthest})
+	lms := x.Landmarks()
+	spread := int(lms[0]) - int(lms[1])
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread < n/2 {
+		t.Fatalf("farthest landmarks %v not spread across the path", lms)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if SelectRandom.String() != "random" || SelectDegree.String() != "degree" ||
+		SelectFarthest.String() != "farthest" || Strategy(9).String() != "unknown" {
+		t.Fatal("Strategy.String wrong")
+	}
+}
+
+func TestMoreLandmarksTighter(t *testing.T) {
+	// Average upper-bound error must not increase with more landmarks
+	// (supersets of landmarks only tighten the min).
+	g := gen.ChungLu(400, 1600, 2.2, 23)
+	r := rand.New(rand.NewSource(503))
+	n := g.NumVertices()
+	pairs := make([][2]graph.Vertex, 100)
+	truth := make([]graph.Dist, len(pairs))
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n))}
+		truth[i] = sssp.Query(g, pairs[i][0], pairs[i][1])
+	}
+	err := func(x *Index) (sum int64) {
+		for i, p := range pairs {
+			hi := x.Upper(p[0], p[1])
+			if hi != graph.Inf && truth[i] != graph.Inf {
+				sum += int64(hi - truth[i])
+			}
+		}
+		return sum
+	}
+	// Degree selection takes prefixes of the same order, so k=16's
+	// landmark set contains k=4's: the error is monotone by construction.
+	e4 := err(Build(g, Options{K: 4, Strategy: SelectDegree}))
+	e16 := err(Build(g, Options{K: 16, Strategy: SelectDegree}))
+	if e16 > e4 {
+		t.Fatalf("error grew with more landmarks: k=4 -> %d, k=16 -> %d", e4, e16)
+	}
+}
+
+func BenchmarkLandmarkQuery(b *testing.B) {
+	g := gen.ChungLu(2000, 8000, 2.2, 24)
+	x := Build(g, Options{K: 16, Strategy: SelectDegree})
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Upper(graph.Vertex(i%n), graph.Vertex((i*31)%n))
+	}
+}

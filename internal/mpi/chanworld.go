@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// chanMsg is one in-flight message on the channel transport.
+type chanMsg struct {
+	tag  Tag
+	data []byte
+}
+
+// chanComm is one rank of an in-process world. Rank pairs are wired with
+// unbounded mailboxes (a slice guarded by a condition variable), so Send
+// never blocks — matching MPI's buffered eager protocol for the message
+// sizes ParaPLL exchanges.
+type chanComm struct {
+	rank  int
+	size  int
+	boxes []*mailbox // boxes[from]: messages sent to this rank by `from`
+	world *chanWorld
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []chanMsg
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m chanMsg) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return errors.New("mpi: send on closed world")
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+	return nil
+}
+
+func (mb *mailbox) take(tag Tag) ([]byte, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return nil, errors.New("mpi: recv on closed world")
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	if m.tag != tag {
+		return nil, fmt.Errorf("mpi: protocol error: expected tag %d, got %d", tag, m.tag)
+	}
+	return m.data, nil
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+type chanWorld struct {
+	comms []*chanComm
+	once  sync.Once
+}
+
+// World creates an in-process communicator group of the given size and
+// returns one Comm per rank. Each returned Comm must be used by (at most)
+// one goroutine per concurrent operation pair, like a real MPI rank.
+// Closing any rank closes the whole world.
+func World(size int) []Comm {
+	if size < 1 {
+		panic("mpi: World needs size >= 1")
+	}
+	w := &chanWorld{comms: make([]*chanComm, size)}
+	for r := 0; r < size; r++ {
+		boxes := make([]*mailbox, size)
+		for f := 0; f < size; f++ {
+			boxes[f] = newMailbox()
+		}
+		w.comms[r] = &chanComm{rank: r, size: size, boxes: boxes, world: w}
+	}
+	out := make([]Comm, size)
+	for r := range w.comms {
+		out[r] = w.comms[r]
+	}
+	return out
+}
+
+// Rank implements Comm.
+func (c *chanComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *chanComm) Size() int { return c.size }
+
+// Send implements Comm.
+func (c *chanComm) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mpi: send to rank %d out of range [0,%d)", to, c.size)
+	}
+	return c.world.comms[to].boxes[c.rank].put(chanMsg{tag: tag, data: data})
+}
+
+// Recv implements Comm.
+func (c *chanComm) Recv(from int, tag Tag) ([]byte, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d out of range [0,%d)", from, c.size)
+	}
+	return c.boxes[from].take(tag)
+}
+
+// Close implements Comm. It closes every mailbox in the world, releasing
+// all blocked receivers.
+func (c *chanComm) Close() error {
+	c.world.once.Do(func() {
+		for _, peer := range c.world.comms {
+			for _, mb := range peer.boxes {
+				mb.close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,318 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP transport: q OS processes connected in a full mesh.
+//
+// Bootstrap protocol. Rank 0 listens on a well-known rendezvous address;
+// every other rank opens its own listener, dials rank 0 and sends a hello
+// (its rank and listener address). Rank 0 gathers all hellos, then sends
+// every rank the full address book over the same connections, which stay
+// open as the permanent rank↔0 links. Finally rank i dials rank j's
+// listener for every 0 < j < i (identifying itself with a rank header),
+// completing the mesh. Messages are length-prefixed frames:
+// [u32 len][u32 tag][payload].
+
+const (
+	tcpMaxFrame      = 1 << 30
+	tcpDialTimeout   = 10 * time.Second
+	tcpSetupDeadline = 60 * time.Second
+	tagHello         = Tag(0xFFFFFFF0)
+	tagBook          = Tag(0xFFFFFFF1)
+	tagMeshHello     = Tag(0xFFFFFFF2)
+)
+
+type tcpComm struct {
+	rank, size int
+	peers      []*tcpPeer // peers[r] for r != rank, nil at own rank
+	boxes      []*mailbox
+	ln         net.Listener
+	closed     atomic.Bool
+	readers    sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// dialRetry dials addr, retrying with backoff until the setup deadline —
+// ranks start in arbitrary order, so the target may not be listening yet.
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(tcpSetupDeadline)
+	backoff := 5 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("mpi: dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func writeFrame(w io.Writer, tag Tag, data []byte) error {
+	var hdr [8]byte
+	if len(data) > tcpMaxFrame {
+		return fmt.Errorf("mpi: frame of %d bytes exceeds limit", len(data))
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(tag))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader) (Tag, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	tag := Tag(binary.LittleEndian.Uint32(hdr[4:8]))
+	if n > tcpMaxFrame {
+		return 0, nil, fmt.Errorf("mpi: oversized frame (%d bytes)", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return 0, nil, err
+	}
+	return tag, data, nil
+}
+
+// ConnectTCP joins a TCP communicator of the given size as the given
+// rank. rootAddr is the rendezvous address rank 0 listens on; every rank
+// must pass the same value. bindAddr is the local address non-root ranks
+// listen on for mesh connections ("" means "127.0.0.1:0"). The call
+// blocks until the full mesh is up, so all ranks must start within the
+// setup deadline.
+func ConnectTCP(rank, size int, rootAddr, bindAddr string) (Comm, error) {
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: bad rank/size %d/%d", rank, size)
+	}
+	if bindAddr == "" {
+		bindAddr = "127.0.0.1:0"
+	}
+	c := &tcpComm{
+		rank:  rank,
+		size:  size,
+		peers: make([]*tcpPeer, size),
+		boxes: make([]*mailbox, size),
+	}
+	for r := 0; r < size; r++ {
+		c.boxes[r] = newMailbox()
+	}
+	if size == 1 {
+		return c, nil
+	}
+	var err error
+	if rank == 0 {
+		err = c.bootstrapRoot(rootAddr)
+	} else {
+		err = c.bootstrapPeer(rootAddr, bindAddr)
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	// Start one reader per peer connection.
+	for r, p := range c.peers {
+		if p == nil {
+			continue
+		}
+		c.readers.Add(1)
+		go c.readLoop(r, p.conn)
+	}
+	return c, nil
+}
+
+func (c *tcpComm) bootstrapRoot(rootAddr string) error {
+	ln, err := net.Listen("tcp", rootAddr)
+	if err != nil {
+		return fmt.Errorf("mpi: root listen: %w", err)
+	}
+	c.ln = ln
+	deadline := time.Now().Add(tcpSetupDeadline)
+	book := make([]string, c.size)
+	book[0] = rootAddr
+	conns := make([]net.Conn, c.size)
+	for got := 0; got < c.size-1; got++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: root accept: %w", err)
+		}
+		tag, data, err := readFrame(conn)
+		if err != nil || tag != tagHello || len(data) < 4 {
+			conn.Close()
+			return fmt.Errorf("mpi: bad hello (tag %d): %v", tag, err)
+		}
+		r := int(binary.LittleEndian.Uint32(data[0:4]))
+		if r <= 0 || r >= c.size || conns[r] != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: hello from invalid or duplicate rank %d", r)
+		}
+		book[r] = string(data[4:])
+		conns[r] = conn
+	}
+	payload := []byte(strings.Join(book, "\n"))
+	for r := 1; r < c.size; r++ {
+		if err := writeFrame(conns[r], tagBook, payload); err != nil {
+			return fmt.Errorf("mpi: send book to %d: %w", r, err)
+		}
+		c.peers[r] = &tcpPeer{conn: conns[r]}
+	}
+	return nil
+}
+
+func (c *tcpComm) bootstrapPeer(rootAddr, bindAddr string) error {
+	ln, err := net.Listen("tcp", bindAddr)
+	if err != nil {
+		return fmt.Errorf("mpi: listen: %w", err)
+	}
+	c.ln = ln
+	conn0, err := dialRetry(rootAddr)
+	if err != nil {
+		return fmt.Errorf("mpi: dial root: %w", err)
+	}
+	hello := make([]byte, 4+len(ln.Addr().String()))
+	binary.LittleEndian.PutUint32(hello[0:4], uint32(c.rank))
+	copy(hello[4:], ln.Addr().String())
+	if err := writeFrame(conn0, tagHello, hello); err != nil {
+		return fmt.Errorf("mpi: send hello: %w", err)
+	}
+	tag, data, err := readFrame(conn0)
+	if err != nil || tag != tagBook {
+		return fmt.Errorf("mpi: read book (tag %d): %v", tag, err)
+	}
+	book := strings.Split(string(data), "\n")
+	if len(book) != c.size {
+		return fmt.Errorf("mpi: book has %d entries, want %d", len(book), c.size)
+	}
+	c.peers[0] = &tcpPeer{conn: conn0}
+	// Dial every lower non-root rank.
+	for j := 1; j < c.rank; j++ {
+		conn, err := dialRetry(book[j])
+		if err != nil {
+			return fmt.Errorf("mpi: dial rank %d at %s: %w", j, book[j], err)
+		}
+		var id [4]byte
+		binary.LittleEndian.PutUint32(id[:], uint32(c.rank))
+		if err := writeFrame(conn, tagMeshHello, id[:]); err != nil {
+			return fmt.Errorf("mpi: mesh hello to %d: %w", j, err)
+		}
+		c.peers[j] = &tcpPeer{conn: conn}
+	}
+	// Accept every higher rank.
+	deadline := time.Now().Add(tcpSetupDeadline)
+	for need := c.size - 1 - c.rank; need > 0; need-- {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: accept mesh: %w", err)
+		}
+		tag, data, err := readFrame(conn)
+		if err != nil || tag != tagMeshHello || len(data) != 4 {
+			conn.Close()
+			return fmt.Errorf("mpi: bad mesh hello: %v", err)
+		}
+		i := int(binary.LittleEndian.Uint32(data))
+		if i <= c.rank || i >= c.size || c.peers[i] != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: mesh hello from invalid rank %d", i)
+		}
+		c.peers[i] = &tcpPeer{conn: conn}
+	}
+	return nil
+}
+
+func (c *tcpComm) readLoop(from int, conn net.Conn) {
+	defer c.readers.Done()
+	for {
+		tag, data, err := readFrame(conn)
+		if err != nil {
+			// Connection down: wake any blocked receiver.
+			c.boxes[from].close()
+			return
+		}
+		if c.boxes[from].put(chanMsg{tag: tag, data: data}) != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Comm.
+func (c *tcpComm) Rank() int { return c.rank }
+
+// Size implements Comm.
+func (c *tcpComm) Size() int { return c.size }
+
+// Send implements Comm.
+func (c *tcpComm) Send(to int, tag Tag, data []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mpi: send to rank %d out of range", to)
+	}
+	if to == c.rank {
+		return c.boxes[c.rank].put(chanMsg{tag: tag, data: data})
+	}
+	if c.closed.Load() {
+		return errors.New("mpi: send on closed comm")
+	}
+	p := c.peers[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return writeFrame(p.conn, tag, data)
+}
+
+// Recv implements Comm.
+func (c *tcpComm) Recv(from int, tag Tag) ([]byte, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("mpi: recv from rank %d out of range", from)
+	}
+	return c.boxes[from].take(tag)
+}
+
+// Close implements Comm.
+func (c *tcpComm) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	for _, p := range c.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	for _, mb := range c.boxes {
+		mb.close()
+	}
+	c.readers.Wait()
+	return nil
+}

@@ -1,0 +1,127 @@
+// Package order computes vertex computing sequences ("orders") for PLL
+// indexing. The order determines pruning power: labels indexed early should
+// cover as many shortest paths as possible (the paper's §4.2 and
+// Proposition 2, where ψ(v) — the number of shortest paths through v —
+// measures a vertex's pruning potential).
+//
+// Three policies are provided:
+//
+//   - Degree: the paper's choice — degree descending. Cheap and close to
+//     optimal on power-law graphs where hubs carry most shortest paths.
+//   - PsiSample: a sampled estimate of ψ(v) via shortest-path-tree subtree
+//     sizes from random roots (after Potamias et al., the paper's [18]).
+//     Better on road networks where degree is uninformative.
+//   - Random: the control/ablation baseline, deliberately bad.
+//
+// A Strategy interface is intentionally avoided: an order is just a
+// []graph.Vertex permutation, and policies are plain functions.
+package order
+
+import (
+	"sort"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/vheap"
+)
+
+// Degree returns vertices by degree descending, ties by id ascending —
+// the paper's canonical sequence.
+func Degree(g *graph.Graph) []graph.Vertex {
+	return graph.DegreeOrder(g)
+}
+
+// Random returns a seeded random permutation of the vertices: the
+// worst-case control for ordering ablations.
+func Random(g *graph.Graph, seed uint64) []graph.Vertex {
+	r := gen.NewRNG(seed)
+	p := r.Perm(g.NumVertices())
+	out := make([]graph.Vertex, len(p))
+	for i, v := range p {
+		out[i] = graph.Vertex(v)
+	}
+	return out
+}
+
+// PsiSample estimates ψ(v) — how many shortest paths pass through v — by
+// running Dijkstra from `samples` random roots and accumulating, for every
+// vertex, the size of its subtree in each shortest-path tree (the number
+// of tree descendants whose root paths pass through it). Vertices are
+// returned in descending estimated ψ. samples must be ≥ 1; larger samples
+// sharpen the estimate at linear cost.
+func PsiSample(g *graph.Graph, samples int, seed uint64) []graph.Vertex {
+	n := g.NumVertices()
+	if samples < 1 {
+		panic("order: PsiSample needs samples >= 1")
+	}
+	psi := make([]uint64, n)
+	r := gen.NewRNG(seed)
+	dist := make([]graph.Dist, n)
+	parent := make([]graph.Vertex, n)
+	orderBuf := make([]graph.Vertex, 0, n)
+	h := vheap.NewIndexed(n)
+	for s := 0; s < samples && n > 0; s++ {
+		root := graph.Vertex(r.Intn(n))
+		for i := range dist {
+			dist[i] = graph.Inf
+			parent[i] = -1
+		}
+		dist[root] = 0
+		orderBuf = orderBuf[:0]
+		h.Reset()
+		h.Push(root, 0)
+		for h.Len() > 0 {
+			u, d := h.Pop()
+			orderBuf = append(orderBuf, u)
+			ns, ws := g.Neighbors(u)
+			for i, v := range ns {
+				nd := graph.AddDist(d, ws[i])
+				if nd < dist[v] {
+					dist[v] = nd
+					parent[v] = u
+					h.Push(v, nd)
+				}
+			}
+		}
+		// Settle order is topological for the SP tree: walk it backwards
+		// accumulating subtree sizes into each parent.
+		size := make([]uint64, n)
+		for i := len(orderBuf) - 1; i >= 0; i-- {
+			v := orderBuf[i]
+			size[v]++
+			psi[v] += size[v]
+			if p := parent[v]; p >= 0 {
+				size[p] += size[v]
+			}
+		}
+	}
+	out := make([]graph.Vertex, n)
+	for i := range out {
+		out[i] = graph.Vertex(i)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if psi[out[i]] != psi[out[j]] {
+			return psi[out[i]] > psi[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Validate checks that ord is a permutation of g's vertices, returning
+// false otherwise. Indexing with a non-permutation would silently skip
+// roots, so callers validate untrusted orders.
+func Validate(g *graph.Graph, ord []graph.Vertex) bool {
+	n := g.NumVertices()
+	if len(ord) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range ord {
+		if int(v) < 0 || int(v) >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,342 @@
+// Package pathidx extends ParaPLL's distance index to full shortest-path
+// reconstruction. The paper works with P(s,t), the shortest path itself
+// (its route-selection use case needs the hops, not just σ(P(s,t)));
+// this package stores, with every label (h, d) ∈ L(u), the predecessor
+// of u on the path from hub h. A query then finds the meeting hub as
+// usual and unwinds the two predecessor chains.
+//
+// The chain-unwinding is sound because a pruned Dijkstra only relaxes
+// neighbors of vertices it did NOT prune, and every non-pruned settled
+// vertex receives a label: if u's label for hub h names parent w, then w
+// was expanded in the same search and therefore carries a label for h
+// too. This holds equally for parallel construction.
+package pathidx
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"parapll/internal/core"
+	"parapll/internal/graph"
+	"parapll/internal/task"
+	"parapll/internal/vheap"
+)
+
+// Entry is one path-augmented 2-hop label.
+type Entry struct {
+	Hub    graph.Vertex
+	D      graph.Dist
+	Parent graph.Vertex // predecessor on the hub→vertex shortest path; == vertex itself at the hub
+}
+
+// Options configures a path-index build.
+type Options struct {
+	// Threads is the number of parallel workers; <= 0 means GOMAXPROCS.
+	Threads int
+	// Policy is the assignment policy (core.Static or core.Dynamic).
+	Policy core.Policy
+	// Order is the computing sequence; nil means degree descending.
+	Order []graph.Vertex
+}
+
+// Index answers exact distance and path queries.
+type Index struct {
+	off     []int64
+	hubs    []graph.Vertex
+	dists   []graph.Dist
+	parents []graph.Vertex
+}
+
+// pstore is the concurrent label store for path entries: the same
+// published-length design as label.Store (lock-free reads, per-vertex
+// mutex-guarded appends), specialized to the wider Entry.
+type pstore struct {
+	labels []atomic.Pointer[pslab]
+	mu     []sync.Mutex
+}
+
+type pslab struct{ entries []Entry }
+
+func newPStore(n int) *pstore {
+	s := &pstore{
+		labels: make([]atomic.Pointer[pslab], n),
+		mu:     make([]sync.Mutex, n),
+	}
+	empty := &pslab{}
+	for i := range s.labels {
+		s.labels[i].Store(empty)
+	}
+	return s
+}
+
+func (s *pstore) snapshot(v graph.Vertex) []Entry { return s.labels[v].Load().entries }
+
+func (s *pstore) append(v graph.Vertex, e Entry) {
+	s.mu[v].Lock()
+	old := s.labels[v].Load().entries
+	var next []Entry
+	if cap(old) > len(old) {
+		next = old[:len(old)+1]
+		next[len(old)] = e
+	} else {
+		next = make([]Entry, len(old)+1, 2*len(old)+4)
+		copy(next, old)
+		next[len(old)] = e
+	}
+	s.labels[v].Store(&pslab{entries: next})
+	s.mu[v].Unlock()
+}
+
+// Build constructs a path-augmented index (parallel, like core.Build).
+func Build(g *graph.Graph, opt Options) *Index {
+	n := g.NumVertices()
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != n {
+		panic("pathidx: Order must be a permutation of the vertices")
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	var mgr task.Manager
+	if opt.Policy == core.Dynamic {
+		mgr = task.NewDynamic(ord, threads, 1)
+	} else {
+		mgr = task.NewStatic(ord, threads)
+	}
+	store := newPStore(n)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ps := newSearcher(g)
+			for {
+				r, _, ok := mgr.Next(w)
+				if !ok {
+					return
+				}
+				ps.run(r, store)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return finalize(store, n)
+}
+
+// searcher is the per-worker pruned Dijkstra with parent tracking.
+type searcher struct {
+	g       *graph.Graph
+	dist    []graph.Dist
+	parent  []graph.Vertex
+	tmp     []graph.Dist
+	touched []graph.Vertex
+	hubs    []graph.Vertex
+	heap    *vheap.Indexed
+}
+
+func newSearcher(g *graph.Graph) *searcher {
+	n := g.NumVertices()
+	ps := &searcher{
+		g:      g,
+		dist:   make([]graph.Dist, n),
+		parent: make([]graph.Vertex, n),
+		tmp:    make([]graph.Dist, n),
+		heap:   vheap.NewIndexed(n),
+	}
+	for i := 0; i < n; i++ {
+		ps.dist[i] = graph.Inf
+		ps.tmp[i] = graph.Inf
+	}
+	return ps
+}
+
+func (ps *searcher) run(r graph.Vertex, store *pstore) {
+	for _, e := range store.snapshot(r) {
+		if e.D < ps.tmp[e.Hub] {
+			ps.tmp[e.Hub] = e.D
+		}
+		ps.hubs = append(ps.hubs, e.Hub)
+	}
+	ps.dist[r] = 0
+	ps.parent[r] = r
+	ps.touched = append(ps.touched, r)
+	ps.heap.Reset()
+	ps.heap.Push(r, 0)
+	for ps.heap.Len() > 0 {
+		u, d := ps.heap.Pop()
+		covered := false
+		for _, e := range store.snapshot(u) {
+			if t := ps.tmp[e.Hub]; t != graph.Inf && graph.AddDist(t, e.D) <= d {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		store.append(u, Entry{Hub: r, D: d, Parent: ps.parent[u]})
+		ns, ws := ps.g.Neighbors(u)
+		for i, v := range ns {
+			nd := graph.AddDist(d, ws[i])
+			if nd < ps.dist[v] {
+				if ps.dist[v] == graph.Inf {
+					ps.touched = append(ps.touched, v)
+				}
+				ps.dist[v] = nd
+				ps.parent[v] = u
+				ps.heap.Push(v, nd)
+			}
+		}
+	}
+	for _, v := range ps.touched {
+		ps.dist[v] = graph.Inf
+	}
+	ps.touched = ps.touched[:0]
+	for _, h := range ps.hubs {
+		ps.tmp[h] = graph.Inf
+	}
+	ps.hubs = ps.hubs[:0]
+}
+
+func finalize(store *pstore, n int) *Index {
+	x := &Index{off: make([]int64, n+1)}
+	lists := make([][]Entry, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		snap := store.snapshot(graph.Vertex(v))
+		list := make([]Entry, len(snap))
+		copy(list, snap)
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Hub != list[j].Hub {
+				return list[i].Hub < list[j].Hub
+			}
+			return list[i].D < list[j].D
+		})
+		out := list[:0]
+		for _, e := range list {
+			if len(out) > 0 && out[len(out)-1].Hub == e.Hub {
+				continue
+			}
+			out = append(out, e)
+		}
+		lists[v] = out
+		total += len(out)
+		x.off[v+1] = int64(total)
+	}
+	x.hubs = make([]graph.Vertex, total)
+	x.dists = make([]graph.Dist, total)
+	x.parents = make([]graph.Vertex, total)
+	pos := 0
+	for _, l := range lists {
+		for _, e := range l {
+			x.hubs[pos], x.dists[pos], x.parents[pos] = e.Hub, e.D, e.Parent
+			pos++
+		}
+	}
+	return x
+}
+
+// NumVertices returns the number of labeled vertices.
+func (x *Index) NumVertices() int { return len(x.off) - 1 }
+
+// NumEntries returns the total number of label entries.
+func (x *Index) NumEntries() int64 { return x.off[len(x.off)-1] }
+
+func (x *Index) label(v graph.Vertex) (hubs []graph.Vertex, dists []graph.Dist) {
+	lo, hi := x.off[v], x.off[v+1]
+	return x.hubs[lo:hi], x.dists[lo:hi]
+}
+
+// entryFor finds v's entry for the given hub by binary search.
+func (x *Index) entryFor(v, hub graph.Vertex) (Entry, bool) {
+	lo, hi := x.off[v], x.off[v+1]
+	hubs := x.hubs[lo:hi]
+	i := sort.Search(len(hubs), func(i int) bool { return hubs[i] >= hub })
+	if i == len(hubs) || hubs[i] != hub {
+		return Entry{}, false
+	}
+	return Entry{Hub: hub, D: x.dists[lo+int64(i)], Parent: x.parents[lo+int64(i)]}, true
+}
+
+// Query returns the exact distance between s and t (graph.Inf if
+// disconnected).
+func (x *Index) Query(s, t graph.Vertex) graph.Dist {
+	d, _ := x.queryHub(s, t)
+	return d
+}
+
+func (x *Index) queryHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	if s == t {
+		return 0, s
+	}
+	sh, sd := x.label(s)
+	th, td := x.label(t)
+	best := graph.Inf
+	hub := graph.Vertex(-1)
+	i, j := 0, 0
+	for i < len(sh) && j < len(th) {
+		switch {
+		case sh[i] < th[j]:
+			i++
+		case sh[i] > th[j]:
+			j++
+		default:
+			if d := graph.AddDist(sd[i], td[j]); d < best {
+				best = d
+				hub = sh[i]
+			}
+			i++
+			j++
+		}
+	}
+	return best, hub
+}
+
+// Path returns the vertex sequence of a shortest path from s to t and
+// its distance. It returns (nil, Inf) for disconnected pairs and
+// ([s], 0) for s == t. The path is exact: its edge weights sum to the
+// returned distance.
+func (x *Index) Path(s, t graph.Vertex) ([]graph.Vertex, graph.Dist) {
+	if s == t {
+		return []graph.Vertex{s}, 0
+	}
+	d, hub := x.queryHub(s, t)
+	if hub < 0 {
+		return nil, graph.Inf
+	}
+	sHalf := x.chain(s, hub) // s … hub
+	tHalf := x.chain(t, hub) // t … hub
+	if sHalf == nil || tHalf == nil {
+		return nil, graph.Inf // corrupt index; fail closed
+	}
+	path := sHalf
+	for i := len(tHalf) - 2; i >= 0; i-- { // skip hub, reverse t-half
+		path = append(path, tHalf[i])
+	}
+	return path, d
+}
+
+// chain unwinds the predecessor chain from v to hub (inclusive). It
+// returns nil if the chain is broken or cyclic (which would indicate a
+// bug, not a user error — tests assert it never happens).
+func (x *Index) chain(v, hub graph.Vertex) []graph.Vertex {
+	out := []graph.Vertex{v}
+	cur := v
+	for steps := 0; cur != hub; steps++ {
+		if steps > x.NumVertices() {
+			return nil
+		}
+		e, ok := x.entryFor(cur, hub)
+		if !ok {
+			return nil
+		}
+		cur = e.Parent
+		out = append(out, cur)
+	}
+	return out
+}

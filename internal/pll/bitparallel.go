@@ -1,0 +1,261 @@
+package pll
+
+import (
+	"parapll/internal/graph"
+	"parapll/internal/label"
+)
+
+// Bit-parallel labels — the signature optimization of the original
+// unweighted PLL (Akiba, Iwata, Yoshida, SIGMOD 2013 §4.2), included
+// here because ParaPLL builds directly on that framework. One
+// bit-parallel BFS from a root r simultaneously tracks up to 64 of r's
+// neighbors S_r in machine words: every vertex v stores
+//
+//	d(v)       = dist(r, v)
+//	Bm1(v) bit i set ⇔ dist(S_i, v) = d(v) − 1
+//	B0(v)  bit i set ⇔ dist(S_i, v) = d(v)
+//
+// (dist(S_i, v) ∈ {d(v)−1, d(v), d(v)+1} by the triangle inequality, so
+// two masks suffice). A query through r then costs three AND/ORs and
+// covers 1+|S_r| landmarks at once:
+//
+//	dist(s,t) ≤ d(s)+d(t)−2  if Bm1(s) ∧ Bm1(t) ≠ 0
+//	dist(s,t) ≤ d(s)+d(t)−1  if (Bm1(s) ∧ B0(t)) ∨ (B0(s) ∧ Bm1(t)) ≠ 0
+//	dist(s,t) ≤ d(s)+d(t)    always (through r itself)
+//
+// Each bound is the length of a real path, so using them to prune the
+// subsequent pruned BFSes is safe for the same reason Proposition 1
+// makes stale labels safe.
+
+// bpLabel is one vertex's entry for one bit-parallel root.
+type bpLabel struct {
+	d   graph.Dist
+	bm1 uint64
+	b0  uint64
+}
+
+// bpRoot holds the per-vertex labels of one bit-parallel BFS.
+type bpRoot struct {
+	labels []bpLabel // indexed by vertex
+}
+
+// BPIndex is an unweighted 2-hop index with a bit-parallel first layer:
+// queries take the minimum of the bit-parallel bounds and the ordinary
+// label merge. Build with BuildUnweightedBP.
+type BPIndex struct {
+	roots []bpRoot
+	idx   *label.Index
+}
+
+// bpQuery returns the best bit-parallel upper bound for (s,t).
+func (x *BPIndex) bpQuery(s, t graph.Vertex) graph.Dist {
+	best := graph.Inf
+	for i := range x.roots {
+		ls := x.roots[i].labels[s]
+		lt := x.roots[i].labels[t]
+		if ls.d == graph.Inf || lt.d == graph.Inf {
+			continue
+		}
+		d := graph.AddDist(ls.d, lt.d)
+		if ls.bm1&lt.bm1 != 0 {
+			d -= 2
+		} else if ls.bm1&lt.b0 != 0 || ls.b0&lt.bm1 != 0 {
+			d -= 1
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Query returns the exact hop distance between s and t.
+func (x *BPIndex) Query(s, t graph.Vertex) graph.Dist {
+	if s == t {
+		return 0
+	}
+	best := x.bpQuery(s, t)
+	if d := x.idx.Query(s, t); d < best {
+		best = d
+	}
+	return best
+}
+
+// NumBPRoots returns how many bit-parallel roots the index holds.
+func (x *BPIndex) NumBPRoots() int { return len(x.roots) }
+
+// LabelEntries returns the number of ordinary (non-bit-parallel) label
+// entries — the quantity the bit-parallel layer exists to shrink.
+func (x *BPIndex) LabelEntries() int64 { return x.idx.NumEntries() }
+
+// bitParallelBFS runs one bit-parallel BFS from root r over selection S
+// (|S| <= 64, all neighbors of r). used marks vertices already consumed
+// as roots/selections by earlier BP iterations; they still participate
+// in the BFS (they are ordinary vertices of the graph).
+func bitParallelBFS(g *graph.Graph, r graph.Vertex, S []graph.Vertex) bpRoot {
+	n := g.NumVertices()
+	out := bpRoot{labels: make([]bpLabel, n)}
+	for v := range out.labels {
+		out.labels[v].d = graph.Inf
+	}
+	// Plain BFS for distances, recording the level order.
+	levelOf := out.labels
+	order := make([]graph.Vertex, 0, n)
+	levelOf[r].d = 0
+	order = append(order, r)
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		ns, _ := g.Neighbors(u)
+		for _, v := range ns {
+			if levelOf[v].d == graph.Inf {
+				levelOf[v].d = levelOf[u].d + 1
+				order = append(order, v)
+			}
+		}
+	}
+	// Seed the selected neighbors: d(S_i, S_i) = 0 = d(r,S_i) − 1.
+	for i, si := range S {
+		out.labels[si].bm1 |= uint64(1) << uint(i)
+	}
+	// Propagate masks strictly level by level; within level δ, first the
+	// intra-level pass (B0(u) ← Bm1(v) for same-level neighbors — this
+	// completes B0 at δ, whose Bm1 was completed by the previous level's
+	// inter-level pass), then the inter-level pass to δ+1
+	// (Bm1(u) ← Bm1(v), B0(u) ← B0(v)). Finally B0 excludes bits that
+	// also made Bm1: a landmark sits at one distance, and the sharper
+	// claim wins.
+	for lo := 0; lo < len(order); {
+		hi := lo
+		d := out.labels[order[lo]].d
+		for hi < len(order) && out.labels[order[hi]].d == d {
+			hi++
+		}
+		for _, v := range order[lo:hi] {
+			bm1 := out.labels[v].bm1
+			if bm1 == 0 {
+				continue
+			}
+			ns, _ := g.Neighbors(v)
+			for _, u := range ns {
+				if out.labels[u].d == d {
+					out.labels[u].b0 |= bm1
+				}
+			}
+		}
+		for _, v := range order[lo:hi] {
+			lv := out.labels[v]
+			if lv.bm1 == 0 && lv.b0 == 0 {
+				continue
+			}
+			ns, _ := g.Neighbors(v)
+			for _, u := range ns {
+				if out.labels[u].d == d+1 {
+					out.labels[u].bm1 |= lv.bm1
+					out.labels[u].b0 |= lv.b0
+				}
+			}
+		}
+		lo = hi
+	}
+	for v := range out.labels {
+		out.labels[v].b0 &^= out.labels[v].bm1
+	}
+	return out
+}
+
+// BuildUnweightedBP builds an unweighted PLL index whose first nRoots
+// searches are bit-parallel BFSes (each covering a root plus up to 64 of
+// its neighbors), followed by ordinary pruned BFSes that additionally
+// prune against the bit-parallel bounds. With hub-heavy graphs this
+// shrinks the ordinary label lists dramatically at a fixed
+// 20·nRoots·n-byte cost. opt.Order applies to the pruned-BFS phase;
+// opt.Trace is not supported here.
+func BuildUnweightedBP(g *graph.Graph, nRoots int, opt Options) *BPIndex {
+	n := g.NumVertices()
+	if nRoots < 0 {
+		nRoots = 0
+	}
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != n {
+		panic("pll: Order must be a permutation of the vertices")
+	}
+
+	x := &BPIndex{}
+	used := make([]bool, n)
+	// Pick bit-parallel roots by degree; their selections are unused
+	// neighbors, so each BP search retires up to 65 would-be hubs.
+	for _, r := range ord {
+		if len(x.roots) >= nRoots {
+			break
+		}
+		if used[r] {
+			continue
+		}
+		used[r] = true
+		var S []graph.Vertex
+		ns, _ := g.Neighbors(r)
+		for _, v := range ns {
+			if len(S) == 64 {
+				break
+			}
+			if !used[v] {
+				used[v] = true
+				S = append(S, v)
+			}
+		}
+		x.roots = append(x.roots, bitParallelBFS(g, r, S))
+	}
+
+	// Ordinary pruned BFS over every vertex (including used ones: their
+	// pairs are only covered when a shortest path passes the BP root
+	// region, which the prune test checks per pair), pruning against
+	// both the bit-parallel bounds and the normal cover.
+	labels := make([][]label.Entry, n)
+	dist := make([]graph.Dist, n)
+	tmp := make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		dist[i] = graph.Inf
+		tmp[i] = graph.Inf
+	}
+	queue := make([]graph.Vertex, 0, n)
+	var touched, hubs []graph.Vertex
+	for _, r := range ord {
+		for _, e := range labels[r] {
+			if e.D < tmp[e.Hub] {
+				tmp[e.Hub] = e.D
+			}
+			hubs = append(hubs, e.Hub)
+		}
+		dist[r] = 0
+		touched = append(touched, r)
+		queue = append(queue[:0], r)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			d := dist[u]
+			if x.bpQuery(r, u) <= d || coveredBy(labels[u], tmp, d) {
+				continue
+			}
+			labels[u] = append(labels[u], label.Entry{Hub: r, D: d})
+			ns, _ := g.Neighbors(u)
+			for _, v := range ns {
+				if dist[v] == graph.Inf {
+					dist[v] = d + 1
+					touched = append(touched, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, v := range touched {
+			dist[v] = graph.Inf
+		}
+		touched = touched[:0]
+		for _, h := range hubs {
+			tmp[h] = graph.Inf
+		}
+		hubs = hubs[:0]
+	}
+	x.idx = label.NewIndexFromLists(labels)
+	return x
+}

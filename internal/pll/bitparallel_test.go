@@ -1,0 +1,143 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/sssp"
+)
+
+// TestBitParallelMasksExact verifies the mask invariants directly:
+// bit i of Bm1(v) ⇔ dist(S_i,v) = dist(r,v)−1, bit i of B0(v) ⇔ equal.
+func TestBitParallelMasksExact(t *testing.T) {
+	r := rand.New(rand.NewSource(700))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.Intn(40)
+		g := randomGraph(r, n, 2*n)
+		root := graph.Vertex(r.Intn(n))
+		ns, _ := g.Neighbors(root)
+		var S []graph.Vertex
+		for _, v := range ns {
+			if len(S) == 64 {
+				break
+			}
+			S = append(S, v)
+		}
+		bp := bitParallelBFS(g, root, S)
+		rootDist := sssp.BFS(g, root)
+		var selDist [][]graph.Dist
+		for _, si := range S {
+			selDist = append(selDist, sssp.BFS(g, si))
+		}
+		for v := 0; v < n; v++ {
+			if bp.labels[v].d != rootDist[v] {
+				t.Fatalf("trial %d: d(%d) = %d, want %d", trial, v, bp.labels[v].d, rootDist[v])
+			}
+			if rootDist[v] == graph.Inf {
+				continue
+			}
+			for i := range S {
+				wantM1 := selDist[i][v] == rootDist[v]-1
+				wantB0 := selDist[i][v] == rootDist[v]
+				gotM1 := bp.labels[v].bm1&(1<<uint(i)) != 0
+				gotB0 := bp.labels[v].b0&(1<<uint(i)) != 0
+				if gotM1 != wantM1 || gotB0 != wantB0 {
+					t.Fatalf("trial %d v=%d S_%d: masks (m1=%v,b0=%v), want (%v,%v) [d(r,v)=%d d(S_i,v)=%d]",
+						trial, v, i, gotM1, gotB0, wantM1, wantB0, rootDist[v], selDist[i][v])
+				}
+			}
+		}
+	}
+}
+
+// TestBPIndexExact is the decisive check: the combined bit-parallel +
+// pruned-BFS index answers every pair with the exact hop count.
+func TestBPIndexExact(t *testing.T) {
+	r := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + r.Intn(50)
+		g := randomGraph(r, n, 3*n)
+		for _, roots := range []int{0, 1, 4} {
+			x := BuildUnweightedBP(g, roots, Options{})
+			for s := graph.Vertex(0); int(s) < n; s++ {
+				want := sssp.BFS(g, s)
+				for u := graph.Vertex(0); int(u) < n; u++ {
+					if got := x.Query(s, u); got != want[u] {
+						t.Fatalf("trial %d roots=%d: query(%d,%d) = %d, want %d",
+							trial, roots, s, u, got, want[u])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBPShrinksOrdinaryLabels reproduces the optimization's purpose: on
+// hub-heavy graphs the bit-parallel layer absorbs the hubs, leaving far
+// fewer ordinary label entries than plain unweighted PLL.
+func TestBPShrinksOrdinaryLabels(t *testing.T) {
+	g := gen.ChungLu(1500, 9000, 2.1, 33)
+	plain := BuildUnweighted(g, Options{})
+	bp := BuildUnweightedBP(g, 8, Options{})
+	if bp.NumBPRoots() != 8 {
+		t.Fatalf("got %d BP roots, want 8", bp.NumBPRoots())
+	}
+	if bp.LabelEntries() >= plain.NumEntries() {
+		t.Fatalf("BP ordinary labels %d not smaller than plain %d",
+			bp.LabelEntries(), plain.NumEntries())
+	}
+	t.Logf("plain %d entries -> BP %d ordinary entries (%.1fx smaller)",
+		plain.NumEntries(), bp.LabelEntries(),
+		float64(plain.NumEntries())/float64(bp.LabelEntries()))
+}
+
+func TestBPDisconnected(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}})
+	x := BuildUnweightedBP(g, 2, Options{})
+	if d := x.Query(0, 3); d != graph.Inf {
+		t.Fatalf("cross-component = %d, want Inf", d)
+	}
+	if d := x.Query(0, 1); d != 1 {
+		t.Fatalf("d(0,1) = %d, want 1", d)
+	}
+	if d := x.Query(4, 4); d != 0 {
+		t.Fatalf("self = %d", d)
+	}
+}
+
+func TestBPZeroRootsEqualsPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(702))
+	g := randomGraph(r, 40, 80)
+	plain := BuildUnweighted(g, Options{})
+	bp := BuildUnweightedBP(g, 0, Options{})
+	if bp.LabelEntries() != plain.NumEntries() {
+		t.Fatalf("0-root BP has %d entries, plain has %d", bp.LabelEntries(), plain.NumEntries())
+	}
+}
+
+func TestBPMoreRootsThanVertices(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}})
+	x := BuildUnweightedBP(g, 100, Options{})
+	want := sssp.BFS(g, 0)
+	for u := graph.Vertex(0); u < 4; u++ {
+		if got := x.Query(0, u); got != want[u] {
+			t.Fatalf("query(0,%d) = %d, want %d", u, got, want[u])
+		}
+	}
+}
+
+func BenchmarkBPvsPlainUnweighted(b *testing.B) {
+	g := gen.ChungLu(3000, 15000, 2.1, 34)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildUnweighted(g, Options{})
+		}
+	})
+	b.Run("bp-16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BuildUnweightedBP(g, 16, Options{})
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package pll implements the serial weighted Pruned Landmark Labeling
+// baseline — the paper's "weighted serial version" (§4.1, Algorithm 1) that
+// every ParaPLL speedup in Tables 3–5 is measured against — plus the
+// original unweighted pruned-BFS PLL of Akiba et al. for comparison.
+//
+// Indexing runs one Pruned Dijkstra per vertex in a chosen order. The
+// search from root r is pruned at any vertex u whose distance is already
+// covered by the 2-hop labels built so far (QUERY(r,u) ≤ D[u]); surviving
+// vertices receive the label (r, D[u]). Complexity is
+// O(wm·log²n + w²n·log²n) for tree-width w (paper §4.1).
+package pll
+
+import (
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/vheap"
+)
+
+// Trace records per-root instrumentation used by the paper's Figure 6
+// (cumulative distribution of labels added by the x-th Pruned Dijkstra).
+type Trace struct {
+	// AddedPerRoot[k] is the number of labels created by the k-th Pruned
+	// Dijkstra in the computing sequence.
+	AddedPerRoot []int64
+	// PrunedPerRoot[k] is the number of settled vertices the k-th search
+	// pruned (dequeued but covered by existing labels).
+	PrunedPerRoot []int64
+	// WorkPerRoot[k] is a machine-independent work measure of the k-th
+	// search (heap pops + edge relaxations + label entries scanned). The
+	// harness uses it to compute projected speedups on machines with too
+	// few cores to show wall-clock scaling.
+	WorkPerRoot []int64
+}
+
+// alloc sizes the trace for n roots.
+func (t *Trace) alloc(n int) {
+	t.AddedPerRoot = make([]int64, n)
+	t.PrunedPerRoot = make([]int64, n)
+	t.WorkPerRoot = make([]int64, n)
+}
+
+// TotalWork sums WorkPerRoot.
+func (t *Trace) TotalWork() int64 {
+	var sum int64
+	for _, w := range t.WorkPerRoot {
+		sum += w
+	}
+	return sum
+}
+
+// Options configures a serial build.
+type Options struct {
+	// Order is the computing sequence; nil means degree descending (the
+	// paper's policy). It must be a permutation of the vertices.
+	Order []graph.Vertex
+	// Trace, when non-nil, is filled with per-root instrumentation.
+	Trace *Trace
+	// LazyHeap switches the inner Dijkstra from the indexed 4-ary heap
+	// with decrease-key to a lazy-deletion binary heap (ablation).
+	LazyHeap bool
+}
+
+// Build indexes g serially and returns the finalized 2-hop index.
+func Build(g *graph.Graph, opt Options) *label.Index {
+	n := g.NumVertices()
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != n {
+		panic("pll: Order must be a permutation of the vertices")
+	}
+	if opt.Trace != nil {
+		opt.Trace.alloc(n)
+	}
+
+	labels := make([][]label.Entry, n)
+	ps := NewSearcher(g, opt.LazyHeap)
+	for k, r := range ord {
+		added, pruned := ps.Run(r, func(u graph.Vertex) []label.Entry { return labels[u] },
+			func(u graph.Vertex, e label.Entry) { labels[u] = append(labels[u], e) })
+		if opt.Trace != nil {
+			opt.Trace.AddedPerRoot[k] = added
+			opt.Trace.PrunedPerRoot[k] = pruned
+			opt.Trace.WorkPerRoot[k] = ps.LastWork()
+		}
+	}
+	return label.NewIndexFromLists(labels)
+}
+
+// Searcher holds the reusable per-search scratch state for Pruned
+// Dijkstra: a tentative-distance array with a touched list (reset in time
+// proportional to the search, not n), the root's hub-distance scatter
+// array for O(|L(u)|) prune queries, and the priority queue.
+//
+// A Searcher is not safe for concurrent use; parallel indexers (the
+// ParaPLL core and cluster packages) give each worker its own Searcher
+// over a shared label store.
+type Searcher struct {
+	g       *graph.Graph
+	dist    []graph.Dist
+	tmp     []graph.Dist // tmp[h] = dist from current root to hub h, via L(root)
+	touched []graph.Vertex
+	hubs    []graph.Vertex // hubs scattered into tmp, for reset
+	heap    *vheap.Indexed
+	lazy    *vheap.Lazy
+	useLazy bool
+	work    int64 // ops in the most recent Run: pops + relaxations + label scans
+}
+
+// LastWork returns the machine-independent work measure (heap pops, edge
+// relaxations, label entries scanned in prune queries) of the most recent
+// Run. Used for projected-speedup accounting.
+func (ps *Searcher) LastWork() int64 { return ps.work }
+
+func NewSearcher(g *graph.Graph, useLazy bool) *Searcher {
+	n := g.NumVertices()
+	ps := &Searcher{
+		g:       g,
+		dist:    make([]graph.Dist, n),
+		tmp:     make([]graph.Dist, n),
+		useLazy: useLazy,
+	}
+	for i := 0; i < n; i++ {
+		ps.dist[i] = graph.Inf
+		ps.tmp[i] = graph.Inf
+	}
+	if useLazy {
+		ps.lazy = &vheap.Lazy{}
+	} else {
+		ps.heap = vheap.NewIndexed(n)
+	}
+	return ps
+}
+
+// Run executes one Pruned Dijkstra from root r. getLabel fetches the
+// current label list of a vertex (a snapshot is fine: seeing fewer labels
+// only weakens pruning, never correctness — Proposition 1); addLabel
+// appends a new entry (r, d) to it. It returns how many labels were added
+// and how many settled vertices were pruned.
+func (ps *Searcher) Run(
+	r graph.Vertex,
+	getLabel func(graph.Vertex) []label.Entry,
+	addLabel func(graph.Vertex, label.Entry),
+) (added, pruned int64) {
+	ps.work = 0
+	// Scatter the root's current labels: tmp[h] = d(h, r). Every prune
+	// query below is then one scan of L(u).
+	rootLabels := getLabel(r)
+	for _, e := range rootLabels {
+		if e.D < ps.tmp[e.Hub] {
+			ps.tmp[e.Hub] = e.D
+		}
+		ps.hubs = append(ps.hubs, e.Hub)
+	}
+
+	ps.dist[r] = 0
+	ps.touched = append(ps.touched, r)
+	if ps.useLazy {
+		ps.lazy.Reset()
+		ps.lazy.Push(r, 0)
+	} else {
+		ps.heap.Reset()
+		ps.heap.Push(r, 0)
+	}
+
+	for {
+		var u graph.Vertex
+		var d graph.Dist
+		if ps.useLazy {
+			if ps.lazy.Len() == 0 {
+				break
+			}
+			u, d = ps.lazy.Pop()
+			if d > ps.dist[u] {
+				continue // stale lazy entry
+			}
+		} else {
+			if ps.heap.Len() == 0 {
+				break
+			}
+			u, d = ps.heap.Pop()
+		}
+
+		ps.work++ // settled pop
+
+		// Prune test: QUERY(r, u) over existing labels ≤ D[u]?
+		lbl := getLabel(u)
+		ps.work += int64(len(lbl))
+		if coveredBy(lbl, ps.tmp, d) {
+			pruned++
+			continue
+		}
+		addLabel(u, label.Entry{Hub: r, D: d})
+		added++
+
+		ns, ws := ps.g.Neighbors(u)
+		ps.work += int64(len(ns))
+		for i, v := range ns {
+			nd := graph.AddDist(d, ws[i])
+			if nd < ps.dist[v] {
+				if ps.dist[v] == graph.Inf {
+					ps.touched = append(ps.touched, v)
+				}
+				ps.dist[v] = nd
+				if ps.useLazy {
+					ps.lazy.Push(v, nd)
+				} else {
+					ps.heap.Push(v, nd)
+				}
+			}
+		}
+	}
+
+	// Reset scratch state in O(search size).
+	for _, v := range ps.touched {
+		ps.dist[v] = graph.Inf
+	}
+	ps.touched = ps.touched[:0]
+	for _, h := range ps.hubs {
+		ps.tmp[h] = graph.Inf
+	}
+	ps.hubs = ps.hubs[:0]
+	return added, pruned
+}
+
+// coveredBy reports whether some hub h in labels has tmp[h] + d(h,u) ≤ d,
+// i.e. the 2-hop cover already answers the pair at least as well.
+func coveredBy(labels []label.Entry, tmp []graph.Dist, d graph.Dist) bool {
+	for _, e := range labels {
+		if t := tmp[e.Hub]; t != graph.Inf {
+			if graph.AddDist(t, e.D) <= d {
+				return true
+			}
+		}
+	}
+	return false
+}

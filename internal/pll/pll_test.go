@@ -1,0 +1,259 @@
+package pll
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/order"
+	"parapll/internal/sssp"
+)
+
+func randomGraph(r *rand.Rand, n, extra int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1+extra)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(v)), V: graph.Vertex(v), W: graph.Dist(1 + r.Intn(40)),
+		})
+	}
+	for i := 0; i < extra; i++ {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(r.Intn(n)), V: graph.Vertex(r.Intn(n)), W: graph.Dist(1 + r.Intn(40)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// checkAllPairs validates every pair against Dijkstra ground truth.
+func checkAllPairs(t *testing.T, g *graph.Graph, query func(s, u graph.Vertex) graph.Dist) {
+	t.Helper()
+	n := g.NumVertices()
+	for s := graph.Vertex(0); int(s) < n; s++ {
+		want := sssp.Dijkstra(g, s)
+		for u := graph.Vertex(0); int(u) < n; u++ {
+			if got := query(s, u); got != want[u] {
+				t.Fatalf("query(%d,%d) = %d, want %d", s, u, got, want[u])
+			}
+		}
+	}
+}
+
+func TestBuildTriangle(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 7}, {U: 0, V: 2, W: 20}})
+	x := Build(g, Options{})
+	checkAllPairs(t, g, x.Query)
+}
+
+func TestBuildCorrectRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(r, 10+r.Intn(50), 60)
+		x := Build(g, Options{})
+		checkAllPairs(t, g, x.Query)
+	}
+}
+
+func TestBuildLazyHeapMatchesIndexed(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 6; trial++ {
+		g := randomGraph(r, 40, 80)
+		a := Build(g, Options{})
+		b := Build(g, Options{LazyHeap: true})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("lazy-heap build differs from indexed-heap build")
+		}
+	}
+}
+
+func TestBuildDisconnected(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3},
+		{U: 3, V: 4, W: 4},
+	})
+	x := Build(g, Options{})
+	checkAllPairs(t, g, x.Query)
+	if d := x.Query(0, 5); d != graph.Inf {
+		t.Fatalf("isolated vertex distance = %d, want Inf", d)
+	}
+}
+
+func TestBuildAnyOrderCorrect(t *testing.T) {
+	// Correctness must not depend on the computing sequence — only label
+	// size does (Proposition 2 is about efficiency, not correctness).
+	r := rand.New(rand.NewSource(102))
+	g := randomGraph(r, 35, 70)
+	for seed := uint64(0); seed < 4; seed++ {
+		x := Build(g, Options{Order: order.Random(g, seed)})
+		checkAllPairs(t, g, x.Query)
+	}
+}
+
+func TestDegreeOrderPrunesBetterThanRandom(t *testing.T) {
+	// Proposition 2's premise on a hub-heavy graph: good order -> smaller
+	// index. Use a power-law graph where the effect is strong.
+	g := gen.ChungLu(600, 2400, 2.2, 7)
+	deg := Build(g, Options{})
+	rnd := Build(g, Options{Order: order.Random(g, 1)})
+	if deg.NumEntries() >= rnd.NumEntries() {
+		t.Errorf("degree order (%d entries) should beat random order (%d entries)",
+			deg.NumEntries(), rnd.NumEntries())
+	}
+}
+
+func TestBuildOrderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short order")
+		}
+	}()
+	g := randomGraph(rand.New(rand.NewSource(1)), 5, 5)
+	Build(g, Options{Order: []graph.Vertex{0, 1}})
+}
+
+func TestTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	g := randomGraph(r, 50, 100)
+	var tr Trace
+	x := Build(g, Options{Trace: &tr})
+	if len(tr.AddedPerRoot) != g.NumVertices() {
+		t.Fatalf("trace length %d, want %d", len(tr.AddedPerRoot), g.NumVertices())
+	}
+	var sum int64
+	for _, a := range tr.AddedPerRoot {
+		sum += a
+	}
+	// NewIndexFromLists dedupes, but serial PLL never creates duplicate
+	// (vertex,hub) pairs, so totals must match exactly.
+	if sum != x.NumEntries() {
+		t.Fatalf("trace sum %d != index entries %d", sum, x.NumEntries())
+	}
+	// First root labels its whole reachable component (nothing to prune).
+	if tr.AddedPerRoot[0] <= 1 {
+		t.Errorf("first root added %d labels, expected many", tr.AddedPerRoot[0])
+	}
+	// Pruning must kick in: later roots add fewer labels on average.
+	n := len(tr.AddedPerRoot)
+	var early, late int64
+	for i := 0; i < n/4; i++ {
+		early += tr.AddedPerRoot[i]
+	}
+	for i := 3 * n / 4; i < n; i++ {
+		late += tr.AddedPerRoot[i]
+	}
+	if late > early {
+		t.Errorf("late roots added more labels (%d) than early roots (%d); pruning broken?", late, early)
+	}
+}
+
+func TestIndexSmallerThanAPSP(t *testing.T) {
+	// The whole point of pruning: far fewer than n^2/2 entries.
+	g := gen.ChungLu(400, 1600, 2.2, 9)
+	x := Build(g, Options{})
+	full := int64(g.NumVertices()) * int64(g.NumVertices())
+	if x.NumEntries()*4 > full {
+		t.Errorf("index has %d entries, more than a quarter of n^2 = %d", x.NumEntries(), full)
+	}
+}
+
+// TestSerialLabelDistancesExact: in the serial build every label entry
+// (h, d) ∈ L(v) records the true distance dist(h, v) — serial pruned
+// Dijkstra never writes an overestimate (each labeled vertex is reached
+// through non-pruned vertices only; see the package doc of core for why
+// the parallel version may differ).
+func TestSerialLabelDistancesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 5; trial++ {
+		g := randomGraph(r, 40, 80)
+		x := Build(g, Options{})
+		truth := make([][]graph.Dist, g.NumVertices())
+		for s := 0; s < g.NumVertices(); s++ {
+			truth[s] = sssp.Dijkstra(g, graph.Vertex(s))
+		}
+		for v := graph.Vertex(0); int(v) < g.NumVertices(); v++ {
+			hubs, dists := x.Label(v)
+			for i, h := range hubs {
+				if dists[i] != truth[h][v] {
+					t.Fatalf("label (%d in L(%d)) records %d, true dist %d",
+						h, v, dists[i], truth[h][v])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	if x := Build(graph.FromEdges(0, nil), Options{}); x.NumVertices() != 0 {
+		t.Fatal("empty build wrong")
+	}
+	x := Build(graph.FromEdges(1, nil), Options{})
+	if d := x.Query(0, 0); d != 0 {
+		t.Fatalf("single vertex self query = %d", d)
+	}
+}
+
+func TestBuildUnweightedHopCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(r, 10+r.Intn(40), 50)
+		x := BuildUnweighted(g, Options{})
+		n := g.NumVertices()
+		for s := graph.Vertex(0); int(s) < n; s++ {
+			want := sssp.BFS(g, s)
+			for u := graph.Vertex(0); int(u) < n; u++ {
+				if got := x.Query(s, u); got != want[u] {
+					t.Fatalf("unweighted query(%d,%d) = %d, want %d", s, u, got, want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUnweightedTrace(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 5)
+	var tr Trace
+	x := BuildUnweighted(g, Options{Trace: &tr})
+	var sum int64
+	for _, a := range tr.AddedPerRoot {
+		sum += a
+	}
+	if sum != x.NumEntries() {
+		t.Fatalf("trace sum %d != entries %d", sum, x.NumEntries())
+	}
+}
+
+func TestBuildUnweightedOrderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildUnweighted(graph.FromEdges(3, nil), Options{Order: []graph.Vertex{0}})
+}
+
+func TestWeightedVsUnweightedDiffer(t *testing.T) {
+	// On a weighted triangle where the heavy direct edge is not the
+	// shortest path, hop count and distance must disagree.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 10}, {U: 1, V: 2, W: 10}, {U: 0, V: 2, W: 100}})
+	w := Build(g, Options{})
+	u := BuildUnweighted(g, Options{})
+	if w.Query(0, 2) != 20 {
+		t.Fatalf("weighted d(0,2) = %d, want 20", w.Query(0, 2))
+	}
+	if u.Query(0, 2) != 1 {
+		t.Fatalf("unweighted d(0,2) = %d, want 1 hop", u.Query(0, 2))
+	}
+}
+
+func BenchmarkBuildSerial(b *testing.B) {
+	for _, name := range []string{"Wiki-Vote", "Gnutella"} {
+		rec, _ := gen.FindRecipe(name)
+		g := rec.Generate(0.05)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Build(g, Options{})
+			}
+		})
+	}
+}

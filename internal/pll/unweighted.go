@@ -1,0 +1,81 @@
+package pll
+
+import (
+	"parapll/internal/graph"
+	"parapll/internal/label"
+)
+
+// BuildUnweighted indexes g with the original unweighted PLL of Akiba et
+// al.: a pruned BFS per root, ignoring edge weights (every edge counts 1).
+// Queries against the resulting index return hop counts. Included as the
+// historical baseline the paper generalizes from ("a parallel version of
+// PLL has been proposed [but] cannot be used for weighted graphs").
+func BuildUnweighted(g *graph.Graph, opt Options) *label.Index {
+	n := g.NumVertices()
+	ord := opt.Order
+	if ord == nil {
+		ord = graph.DegreeOrder(g)
+	} else if len(ord) != n {
+		panic("pll: Order must be a permutation of the vertices")
+	}
+	if opt.Trace != nil {
+		opt.Trace.alloc(n)
+	}
+
+	labels := make([][]label.Entry, n)
+	dist := make([]graph.Dist, n)
+	tmp := make([]graph.Dist, n)
+	for i := 0; i < n; i++ {
+		dist[i] = graph.Inf
+		tmp[i] = graph.Inf
+	}
+	queue := make([]graph.Vertex, 0, n)
+	var touched, hubs []graph.Vertex
+
+	for k, r := range ord {
+		var added, pruned, work int64
+		for _, e := range labels[r] {
+			if e.D < tmp[e.Hub] {
+				tmp[e.Hub] = e.D
+			}
+			hubs = append(hubs, e.Hub)
+		}
+		dist[r] = 0
+		touched = append(touched, r)
+		queue = append(queue[:0], r)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			d := dist[u]
+			work += 1 + int64(len(labels[u]))
+			if coveredBy(labels[u], tmp, d) {
+				pruned++
+				continue
+			}
+			labels[u] = append(labels[u], label.Entry{Hub: r, D: d})
+			added++
+			ns, _ := g.Neighbors(u)
+			work += int64(len(ns))
+			for _, v := range ns {
+				if dist[v] == graph.Inf {
+					dist[v] = d + 1
+					touched = append(touched, v)
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, v := range touched {
+			dist[v] = graph.Inf
+		}
+		touched = touched[:0]
+		for _, h := range hubs {
+			tmp[h] = graph.Inf
+		}
+		hubs = hubs[:0]
+		if opt.Trace != nil {
+			opt.Trace.AddedPerRoot[k] = added
+			opt.Trace.PrunedPerRoot[k] = pruned
+			opt.Trace.WorkPerRoot[k] = work
+		}
+	}
+	return label.NewIndexFromLists(labels)
+}

@@ -1,0 +1,223 @@
+// Package server exposes a built index as an HTTP JSON service — the
+// "module for context-aware or social-aware search" deployment shape the
+// paper's introduction describes, where other services need distance
+// answers with real-time latency budgets.
+//
+// Endpoints:
+//
+//	GET  /query?s=A&t=B   → {"s":A,"t":B,"dist":D,"reachable":true}
+//	POST /batch           ← {"pairs":[[s,t],...]}
+//	                      → {"dists":[...]} (-1 encodes unreachable)
+//	GET  /path?s=A&t=B    → {"path":[...],"dist":D} (404 if no path index)
+//	GET  /stats           → index size statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"parapll/internal/graph"
+	"parapll/internal/knn"
+	"parapll/internal/label"
+	"parapll/internal/pathidx"
+)
+
+// Server answers distance queries over HTTP from a finalized index and,
+// optionally, a path-augmented index for route reconstruction.
+type Server struct {
+	idx     *label.Index
+	pidx    *pathidx.Index // may be nil: /path then returns 404
+	knn     *knn.Index     // built lazily on the first /knn request
+	knnOnce sync.Once
+	mux     *http.ServeMux
+}
+
+// New builds the handler. pidx may be nil to disable /path.
+func New(idx *label.Index, pidx *pathidx.Index) *Server {
+	s := &Server{idx: idx, pidx: pidx, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/batch", s.handleBatch)
+	s.mux.HandleFunc("/path", s.handlePath)
+	s.mux.HandleFunc("/knn", s.handleKNN)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) vertexParam(r *http.Request, name string) (graph.Vertex, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q", raw)
+	}
+	if v < 0 || int(v) >= s.idx.NumVertices() {
+		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.idx.NumVertices())
+	}
+	return graph.Vertex(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// queryResponse is the /query reply.
+type queryResponse struct {
+	S         graph.Vertex `json:"s"`
+	T         graph.Vertex `json:"t"`
+	Dist      int64        `json:"dist"` // -1 when unreachable
+	Reachable bool         `json:"reachable"`
+}
+
+func encodeDist(d graph.Dist) int64 {
+	if d == graph.Inf {
+		return -1
+	}
+	return int64(d)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := s.vertexParam(r, "t")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	d := s.idx.Query(src, dst)
+	writeJSON(w, http.StatusOK, queryResponse{
+		S: src, T: dst, Dist: encodeDist(d), Reachable: d != graph.Inf,
+	})
+}
+
+// batchRequest / batchResponse are the /batch wire types.
+type batchRequest struct {
+	Pairs [][2]graph.Vertex `json:"pairs"`
+}
+type batchResponse struct {
+	Dists []int64 `json:"dists"`
+}
+
+const maxBatch = 100000
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	if len(req.Pairs) > maxBatch {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Pairs), maxBatch))
+		return
+	}
+	n := s.idx.NumVertices()
+	out := batchResponse{Dists: make([]int64, len(req.Pairs))}
+	for i, p := range req.Pairs {
+		if int(p[0]) < 0 || int(p[0]) >= n || int(p[1]) < 0 || int(p[1]) >= n {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("pair %d out of range", i))
+			return
+		}
+		out.Dists[i] = encodeDist(s.idx.Query(p[0], p[1]))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// pathResponse is the /path reply.
+type pathResponse struct {
+	Path []graph.Vertex `json:"path"`
+	Dist int64          `json:"dist"`
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	if s.pidx == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server was started without a path index"))
+		return
+	}
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := s.vertexParam(r, "t")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	path, d := s.pidx.Path(src, dst)
+	if d == graph.Inf {
+		writeJSON(w, http.StatusOK, pathResponse{Path: nil, Dist: -1})
+		return
+	}
+	writeJSON(w, http.StatusOK, pathResponse{Path: path, Dist: int64(d)})
+}
+
+// knnResponse is the /knn reply.
+type knnResponse struct {
+	Results []knn.Result `json:"results"`
+}
+
+const maxK = 10000
+
+// handleKNN serves GET /knn?s=A&k=N: the k closest vertices to s with
+// exact distances. The inverted index is built lazily on first use (it
+// costs as much memory as the index itself).
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	src, err := s.vertexParam(r, "s")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	kRaw := r.URL.Query().Get("k")
+	k, err := strconv.Atoi(kRaw)
+	if err != nil || k < 1 || k > maxK {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..%d)", kRaw, maxK))
+		return
+	}
+	s.knnOnce.Do(func() { s.knn = knn.New(s.idx) })
+	res := s.knn.Query(src, k)
+	if res == nil {
+		res = []knn.Result{}
+	}
+	writeJSON(w, http.StatusOK, knnResponse{Results: res})
+}
+
+// statsResponse is the /stats reply.
+type statsResponse struct {
+	Vertices     int     `json:"vertices"`
+	Entries      int64   `json:"entries"`
+	AvgLabelSize float64 `json:"avg_label_size"`
+	HasPathIndex bool    `json:"has_path_index"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Vertices:     s.idx.NumVertices(),
+		Entries:      s.idx.NumEntries(),
+		AvgLabelSize: s.idx.AvgLabelSize(),
+		HasPathIndex: s.pidx != nil,
+	})
+}

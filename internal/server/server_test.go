@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"parapll/internal/graph"
+	"parapll/internal/pathidx"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+)
+
+func testServer(t *testing.T, withPath bool) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 5},
+	}) // vertex 4 isolated
+	idx := pll.Build(g, pll.Options{})
+	var pidx *pathidx.Index
+	if withPath {
+		pidx = pathidx.Build(g, pathidx.Options{Threads: 1})
+	}
+	ts := httptest.NewServer(New(idx, pidx))
+	t.Cleanup(ts.Close)
+	return ts, g
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, g := testServer(t, false)
+	var resp queryResponse
+	if code := getJSON(t, ts.URL+"/query?s=0&t=3", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	want := sssp.Query(g, 0, 3)
+	if resp.Dist != int64(want) || !resp.Reachable {
+		t.Fatalf("resp = %+v, want dist %d", resp, want)
+	}
+	// Unreachable pair encodes dist -1.
+	if code := getJSON(t, ts.URL+"/query?s=0&t=4", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Dist != -1 || resp.Reachable {
+		t.Fatalf("unreachable resp = %+v", resp)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ts, _ := testServer(t, false)
+	for _, q := range []string{
+		"/query?t=1",      // missing s
+		"/query?s=0",      // missing t
+		"/query?s=x&t=1",  // non-numeric
+		"/query?s=99&t=1", // out of range
+		"/query?s=-1&t=1", // negative
+	} {
+		var e map[string]string
+		if code := getJSON(t, ts.URL+q, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+		if e["error"] == "" {
+			t.Errorf("%s: missing error message", q)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/query?s=0&t=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /query: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, g := testServer(t, false)
+	body, _ := json.Marshal(batchRequest{Pairs: [][2]graph.Vertex{{0, 3}, {3, 0}, {0, 4}, {2, 2}}})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	want03 := int64(sssp.Query(g, 0, 3))
+	if len(out.Dists) != 4 || out.Dists[0] != want03 || out.Dists[1] != want03 ||
+		out.Dists[2] != -1 || out.Dists[3] != 0 {
+		t.Fatalf("batch = %v", out.Dists)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	ts, _ := testServer(t, false)
+	for name, body := range map[string]string{
+		"bad-json":     "{nope",
+		"out-of-range": `{"pairs":[[0,99]]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// GET not allowed.
+	resp, err := http.Get(ts.URL + "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /batch: status %d", resp.StatusCode)
+	}
+}
+
+func TestPathEndpoint(t *testing.T) {
+	ts, g := testServer(t, true)
+	var resp pathResponse
+	if code := getJSON(t, ts.URL+"/path?s=0&t=3", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Dist != int64(sssp.Query(g, 0, 3)) {
+		t.Fatalf("path dist = %d", resp.Dist)
+	}
+	if len(resp.Path) != 4 || resp.Path[0] != 0 || resp.Path[3] != 3 {
+		t.Fatalf("path = %v", resp.Path)
+	}
+	// Unreachable.
+	if code := getJSON(t, ts.URL+"/path?s=0&t=4", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Dist != -1 || resp.Path != nil {
+		t.Fatalf("unreachable path = %+v", resp)
+	}
+}
+
+func TestPathWithoutIndex(t *testing.T) {
+	ts, _ := testServer(t, false)
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/path?s=0&t=3", &e); code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+}
+
+func TestKNNEndpoint(t *testing.T) {
+	ts, g := testServer(t, false)
+	var resp knnResponse
+	if code := getJSON(t, ts.URL+"/knn?s=0&k=2", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	want := sssp.Dijkstra(g, 0)
+	for _, r := range resp.Results {
+		if want[r.V] != r.D {
+			t.Fatalf("knn d(0,%d) = %d, want %d", r.V, r.D, want[r.V])
+		}
+	}
+	// Isolated vertex: empty but valid JSON array.
+	if code := getJSON(t, ts.URL+"/knn?s=4&k=3", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Results == nil || len(resp.Results) != 0 {
+		t.Fatalf("isolated knn = %v, want empty array", resp.Results)
+	}
+	// Validation.
+	var e map[string]string
+	for _, q := range []string{"/knn?s=0", "/knn?s=0&k=0", "/knn?s=0&k=999999", "/knn?k=2"} {
+		if code := getJSON(t, ts.URL+q, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := testServer(t, true)
+	var resp statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Vertices != 5 || resp.Entries < 5 || !resp.HasPathIndex {
+		t.Fatalf("stats = %+v", resp)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ts, _ := testServer(t, false)
+	done := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		go func(i int) {
+			var resp queryResponse
+			url := fmt.Sprintf("%s/query?s=%d&t=%d", ts.URL, i%4, (i+1)%4)
+			r, err := http.Get(url)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer r.Body.Close()
+			done <- json.NewDecoder(r.Body).Decode(&resp)
+		}(i)
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

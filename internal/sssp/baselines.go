@@ -1,0 +1,100 @@
+package sssp
+
+import "parapll/internal/graph"
+
+// BellmanFord computes single-source distances in O(nm). It is far slower
+// than Dijkstra but structurally different, which makes it a valuable
+// cross-check oracle in tests. Unreachable vertices get graph.Inf.
+func BellmanFord(g *graph.Graph, s graph.Vertex) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[s] = 0
+	edges := g.Edges()
+	for round := 0; round < n-1; round++ {
+		changed := false
+		for _, e := range edges {
+			if nd := graph.AddDist(dist[e.U], e.W); nd < dist[e.V] {
+				dist[e.V] = nd
+				changed = true
+			}
+			if nd := graph.AddDist(dist[e.V], e.W); nd < dist[e.U] {
+				dist[e.U] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// FloydWarshall computes all-pairs distances in O(n^3) time and O(n^2)
+// space — the straw-man indexing strategy from the paper's introduction
+// (~12,500 s for n = 0.1M). Only sensible for small graphs; used as an
+// oracle and as the "full index" baseline in benches.
+func FloydWarshall(g *graph.Graph) [][]graph.Dist {
+	n := g.NumVertices()
+	d := make([][]graph.Dist, n)
+	for i := range d {
+		d[i] = make([]graph.Dist, n)
+		for j := range d[i] {
+			if i == j {
+				d[i][j] = 0
+			} else {
+				d[i][j] = graph.Inf
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.W < d[e.U][e.V] {
+			d[e.U][e.V] = e.W
+			d[e.V][e.U] = e.W
+		}
+	}
+	for k := 0; k < n; k++ {
+		dk := d[k]
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik == graph.Inf {
+				continue
+			}
+			di := d[i]
+			for j := 0; j < n; j++ {
+				if nd := graph.AddDist(dik, dk[j]); nd < di[j] {
+					di[j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// BFS computes hop-count distances ignoring edge weights — the query
+// primitive of the original unweighted PLL. Unreachable vertices get
+// graph.Inf.
+func BFS(g *graph.Graph, s graph.Vertex) []graph.Dist {
+	n := g.NumVertices()
+	dist := make([]graph.Dist, n)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[s] = 0
+	queue := make([]graph.Vertex, 0, 64)
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		ns, _ := g.Neighbors(u)
+		for _, v := range ns {
+			if dist[v] == graph.Inf {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

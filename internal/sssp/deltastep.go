@@ -1,0 +1,148 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parapll/internal/graph"
+)
+
+// DeltaStepping computes single-source distances with the Δ-stepping
+// algorithm (Meyer & Sanders), the standard parallel-friendly SSSP the
+// paper cites as related work [7]. Vertices are bucketed by ⌊dist/Δ⌋;
+// buckets are processed in order, light edges (w ≤ Δ) iteratively within a
+// bucket, heavy edges once per settled bucket. Relaxations across workers
+// use compare-and-swap distance updates.
+//
+// delta must be positive; workers ≤ 0 means GOMAXPROCS. The result is
+// identical to Dijkstra's.
+func DeltaStepping(g *graph.Graph, s graph.Vertex, delta graph.Dist, workers int) []graph.Dist {
+	if delta == 0 {
+		panic("sssp: DeltaStepping needs delta > 0")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = uint32(graph.Inf)
+	}
+	atomic.StoreUint32(&dist[s], 0)
+
+	// relax attempts dist[v] = min(dist[v], nd); reports whether it won.
+	relax := func(v graph.Vertex, nd graph.Dist) bool {
+		for {
+			cur := atomic.LoadUint32(&dist[v])
+			if graph.Dist(cur) <= nd {
+				return false
+			}
+			if atomic.CompareAndSwapUint32(&dist[v], cur, uint32(nd)) {
+				return true
+			}
+		}
+	}
+
+	bucketOf := func(d graph.Dist) int { return int(d / delta) }
+
+	buckets := make(map[int][]graph.Vertex)
+	buckets[0] = []graph.Vertex{s}
+	maxBucket := 0
+
+	// processChunk relaxes the given edge class ("light" w<=delta or heavy)
+	// of frontier vertices in parallel and returns newly improved vertices.
+	processChunk := func(frontier []graph.Vertex, light bool) []graph.Vertex {
+		if len(frontier) == 0 {
+			return nil
+		}
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		results := make([][]graph.Vertex, w)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(k, lo, hi int) {
+				defer wg.Done()
+				var local []graph.Vertex
+				for _, u := range frontier[lo:hi] {
+					du := graph.Dist(atomic.LoadUint32(&dist[u]))
+					ns, ws := g.Neighbors(u)
+					for i, v := range ns {
+						isLight := ws[i] <= delta
+						if isLight != light {
+							continue
+						}
+						nd := graph.AddDist(du, ws[i])
+						if relax(v, nd) {
+							local = append(local, v)
+						}
+					}
+				}
+				results[k] = local
+			}(k, lo, hi)
+		}
+		wg.Wait()
+		var out []graph.Vertex
+		for _, r := range results {
+			out = append(out, r...)
+		}
+		return out
+	}
+
+	for i := 0; i <= maxBucket; i++ {
+		var settled []graph.Vertex
+		for len(buckets[i]) > 0 {
+			// Take the bucket; filter out stale entries.
+			frontier := buckets[i]
+			buckets[i] = nil
+			active := frontier[:0]
+			seen := make(map[graph.Vertex]bool, len(frontier))
+			for _, v := range frontier {
+				d := graph.Dist(atomic.LoadUint32(&dist[v]))
+				if d != graph.Inf && bucketOf(d) == i && !seen[v] {
+					seen[v] = true
+					active = append(active, v)
+				}
+			}
+			if len(active) == 0 {
+				break
+			}
+			settled = append(settled, active...)
+			improved := processChunk(active, true)
+			for _, v := range improved {
+				b := bucketOf(graph.Dist(atomic.LoadUint32(&dist[v])))
+				buckets[b] = append(buckets[b], v)
+				if b > maxBucket {
+					maxBucket = b
+				}
+			}
+		}
+		// Heavy edges once per bucket, after light edges converge.
+		improved := processChunk(settled, false)
+		for _, v := range improved {
+			b := bucketOf(graph.Dist(atomic.LoadUint32(&dist[v])))
+			buckets[b] = append(buckets[b], v)
+			if b > maxBucket {
+				maxBucket = b
+			}
+		}
+	}
+
+	out := make([]graph.Dist, n)
+	for i := range out {
+		out[i] = graph.Dist(dist[i])
+	}
+	return out
+}

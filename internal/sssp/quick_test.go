@@ -1,0 +1,112 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parapll/internal/graph"
+)
+
+func arbitraryGraph(nRaw uint8, raw [][3]uint32) *graph.Graph {
+	n := int(nRaw%40) + 2
+	edges := make([]graph.Edge, 0, len(raw))
+	for _, t := range raw {
+		edges = append(edges, graph.Edge{
+			U: graph.Vertex(t[0] % uint32(n)),
+			V: graph.Vertex(t[1] % uint32(n)),
+			W: graph.Dist(t[2]%1000 + 1),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TestQuickDijkstraCertificate checks the optimality certificate on
+// arbitrary graphs: a distance vector d is THE shortest-path vector iff
+// (1) d[s] = 0, (2) feasibility: d[v] ≤ d[u]+w for every edge, and
+// (3) tightness: every reachable v ≠ s has a neighbor achieving
+// equality. This verifies Dijkstra without trusting another solver.
+func TestQuickDijkstraCertificate(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32, sRaw uint8) bool {
+		g := arbitraryGraph(nRaw, raw)
+		n := g.NumVertices()
+		s := graph.Vertex(int(sRaw) % n)
+		d := Dijkstra(g, s)
+		if d[s] != 0 {
+			return false
+		}
+		for u := graph.Vertex(0); int(u) < n; u++ {
+			ns, ws := g.Neighbors(u)
+			for i, v := range ns {
+				if d[u] != graph.Inf && graph.AddDist(d[u], ws[i]) < d[v] {
+					return false // feasibility violated
+				}
+			}
+		}
+		for v := graph.Vertex(0); int(v) < n; v++ {
+			if v == s || d[v] == graph.Inf {
+				continue
+			}
+			tight := false
+			ns, ws := g.Neighbors(v)
+			for i, u := range ns {
+				if d[u] != graph.Inf && graph.AddDist(d[u], ws[i]) == d[v] {
+					tight = true
+					break
+				}
+			}
+			if !tight {
+				return false // no predecessor achieves d[v]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickQuerySymmetric: undirected distances are symmetric.
+func TestQuickQuerySymmetric(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32, a, b uint8) bool {
+		g := arbitraryGraph(nRaw, raw)
+		n := g.NumVertices()
+		s := graph.Vertex(int(a) % n)
+		u := graph.Vertex(int(b) % n)
+		return Query(g, s, u) == Query(g, u, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTriangleInequality: d(s,t) ≤ d(s,m) + d(m,t) for any m.
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32, a, b, c uint8) bool {
+		g := arbitraryGraph(nRaw, raw)
+		n := g.NumVertices()
+		s := graph.Vertex(int(a) % n)
+		u := graph.Vertex(int(b) % n)
+		m := graph.Vertex(int(c) % n)
+		ds := Dijkstra(g, s)
+		dm := Dijkstra(g, m)
+		return ds[u] <= graph.AddDist(ds[m], dm[u])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBiQueryMatchesDijkstra on arbitrary graphs — bidirectional
+// search stopping conditions are notoriously easy to get subtly wrong.
+func TestQuickBiQueryMatchesDijkstra(t *testing.T) {
+	f := func(nRaw uint8, raw [][3]uint32, a, b uint8) bool {
+		g := arbitraryGraph(nRaw, raw)
+		n := g.NumVertices()
+		s := graph.Vertex(int(a) % n)
+		u := graph.Vertex(int(b) % n)
+		return BiQuery(g, s, u) == Dijkstra(g, s)[u]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package task implements the paper's "task manager" (§3.2, §4.2–4.4): the
+// component that hands root vertices of Pruned Dijkstra searches to worker
+// threads, controlling the computing sequence.
+//
+// Two assignment policies are provided, matching the paper:
+//
+//   - Static (Figure 2): the ordered vertex list is dealt round-robin to p
+//     workers before indexing starts; worker w processes order[w],
+//     order[w+p], order[w+2p], …
+//   - Dynamic (Figure 3, Algorithm 2): workers compete for the
+//     highest-degree unindexed vertex; a free worker fetches the next
+//     vertex from a shared queue (here a single atomic cursor — the
+//     queue's lock/unlock in Algorithm 2 collapses to one fetch-and-add).
+//     An optional chunk size lets a worker claim several consecutive
+//     roots per fetch (ablation for contention on huge graphs).
+package task
+
+import (
+	"sync/atomic"
+
+	"parapll/internal/graph"
+)
+
+// Manager hands out indexing tasks (root vertices) to workers. Next is
+// safe for concurrent use by distinct workers; the same worker id must not
+// call Next concurrently with itself.
+type Manager interface {
+	// Next returns the next root assigned to worker w, together with the
+	// root's position in the global computing sequence, or ok=false when
+	// worker w has no more tasks.
+	Next(w int) (v graph.Vertex, pos int, ok bool)
+	// Workers returns the number of workers the manager was built for.
+	Workers() int
+}
+
+// Static deals the sequence round-robin before indexing (paper Figure 2).
+type Static struct {
+	order   []graph.Vertex
+	workers int
+	cursor  []int64 // cursor[w]: next sequence position for worker w
+}
+
+// NewStatic builds a static manager over the given computing sequence.
+func NewStatic(order []graph.Vertex, workers int) *Static {
+	if workers < 1 {
+		panic("task: workers must be >= 1")
+	}
+	s := &Static{order: order, workers: workers, cursor: make([]int64, workers)}
+	for w := range s.cursor {
+		s.cursor[w] = int64(w)
+	}
+	return s
+}
+
+// Next implements Manager.
+func (s *Static) Next(w int) (graph.Vertex, int, bool) {
+	pos := s.cursor[w]
+	if pos >= int64(len(s.order)) {
+		return 0, 0, false
+	}
+	s.cursor[w] = pos + int64(s.workers)
+	return s.order[pos], int(pos), true
+}
+
+// Workers implements Manager.
+func (s *Static) Workers() int { return s.workers }
+
+// Dynamic lets all workers compete for the next unindexed vertex in
+// sequence order (paper Figure 3 / Algorithm 2).
+type Dynamic struct {
+	order   []graph.Vertex
+	workers int
+	chunk   int64
+	next    atomic.Int64
+	local   []dynCursor
+}
+
+type dynCursor struct {
+	lo, hi int64
+	// Pad to a cache line so per-worker cursors don't false-share.
+	_ [48]byte
+}
+
+// NewDynamic builds a dynamic manager. chunk is how many consecutive roots
+// a worker claims per shared-counter fetch; chunk <= 1 means one at a time
+// (the paper's policy).
+func NewDynamic(order []graph.Vertex, workers, chunk int) *Dynamic {
+	if workers < 1 {
+		panic("task: workers must be >= 1")
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Dynamic{
+		order:   order,
+		workers: workers,
+		chunk:   int64(chunk),
+		local:   make([]dynCursor, workers),
+	}
+}
+
+// Next implements Manager.
+func (d *Dynamic) Next(w int) (graph.Vertex, int, bool) {
+	cur := &d.local[w]
+	if cur.lo >= cur.hi {
+		lo := d.next.Add(d.chunk) - d.chunk
+		if lo >= int64(len(d.order)) {
+			return 0, 0, false
+		}
+		hi := lo + d.chunk
+		if hi > int64(len(d.order)) {
+			hi = int64(len(d.order))
+		}
+		cur.lo, cur.hi = lo, hi
+	}
+	pos := cur.lo
+	cur.lo++
+	return d.order[pos], int(pos), true
+}
+
+// Workers implements Manager.
+func (d *Dynamic) Workers() int { return d.workers }

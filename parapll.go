@@ -1,0 +1,293 @@
+// Package parapll is a Go implementation of ParaPLL (Qiu et al., ICPP
+// 2018): fast parallel shortest-path distance queries on large weighted
+// graphs via Pruned Landmark Labeling.
+//
+// The workflow has two stages, as in the paper. The indexing stage builds
+// a 2-hop-cover label index — serially (BuildSerial), in parallel on one
+// machine (Build), or across a cluster of nodes connected by this
+// repository's MPI-style transport (BuildCluster / RunLocalCluster). The
+// querying stage answers exact point-to-point distances from the index in
+// microseconds (Index.Query).
+//
+// Quick start:
+//
+//	g := parapll.NewGraph(4, []parapll.Edge{
+//		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 5},
+//	})
+//	idx := parapll.Build(g, parapll.Options{})   // all cores, dynamic policy
+//	dist := idx.Query(0, 3)                      // == 12
+//
+// The subpackages under internal/ hold the building blocks (graph
+// substrate, label stores, task manager, MPI-style transports, dataset
+// generators, experiment harness); this package is the supported surface.
+package parapll
+
+import (
+	"runtime"
+
+	"parapll/internal/cluster"
+	"parapll/internal/core"
+	"parapll/internal/directed"
+	"parapll/internal/dynamic"
+	"parapll/internal/fileio"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/knn"
+	"parapll/internal/label"
+	"parapll/internal/mpi"
+	"parapll/internal/order"
+	"parapll/internal/pathidx"
+	"parapll/internal/pll"
+	"parapll/internal/sssp"
+)
+
+// Re-exported fundamental types. Vertex ids are dense int32s in [0,n);
+// distances are uint32 with Inf marking "unreachable".
+type (
+	// Vertex identifies a vertex.
+	Vertex = graph.Vertex
+	// Dist is an edge weight or path distance.
+	Dist = graph.Dist
+	// Edge is one undirected weighted edge.
+	Edge = graph.Edge
+	// Graph is an immutable weighted undirected graph in CSR form.
+	Graph = graph.Graph
+	// Index is a finalized 2-hop-cover label index answering exact
+	// distance queries.
+	Index = label.Index
+	// PathIndex is a path-augmented index that also reconstructs the
+	// shortest path itself (see BuildPathIndex).
+	PathIndex = pathidx.Index
+	// Comm is an MPI-style communicator for cluster indexing.
+	Comm = mpi.Comm
+)
+
+// Inf is the distance of unreachable pairs.
+const Inf = graph.Inf
+
+// Policy selects the task assignment policy of the parallel indexer.
+type Policy = core.Policy
+
+// Assignment policies (paper §4.3, §4.4). Dynamic usually wins; Static is
+// the simpler baseline.
+const (
+	Static  = core.Static
+	Dynamic = core.Dynamic
+)
+
+// Ordering names a computing-sequence policy for the indexing stage.
+type Ordering int
+
+// Available vertex orderings. OrderDegree is the paper's choice.
+const (
+	// OrderDegree indexes high-degree vertices first.
+	OrderDegree Ordering = iota
+	// OrderPsi estimates shortest-path centrality by sampling (better on
+	// road networks, costlier to compute).
+	OrderPsi
+	// OrderRandom is the ablation control.
+	OrderRandom
+)
+
+// Options configures index construction.
+type Options struct {
+	// Threads is the number of parallel workers; <= 0 means all cores.
+	Threads int
+	// Policy is Static or Dynamic (default Static, the zero value).
+	Policy Policy
+	// Order selects the computing sequence (default OrderDegree).
+	Order Ordering
+	// Seed feeds OrderPsi / OrderRandom.
+	Seed uint64
+}
+
+func computeOrder(g *Graph, o Ordering, seed uint64) []Vertex {
+	switch o {
+	case OrderPsi:
+		samples := 8
+		if g.NumVertices() < 8 {
+			samples = 1
+		}
+		return order.PsiSample(g, samples, seed)
+	case OrderRandom:
+		return order.Random(g, seed)
+	default:
+		return order.Degree(g)
+	}
+}
+
+// NewGraph builds a graph with n vertices from an undirected edge list.
+// Self-loops are dropped and duplicate edges keep their smallest weight.
+func NewGraph(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Build constructs the index in parallel on this machine (the paper's
+// intra-node ParaPLL).
+func Build(g *Graph, opt Options) *Index {
+	return core.Build(g, core.Options{
+		Threads: opt.Threads,
+		Policy:  opt.Policy,
+		Order:   computeOrder(g, opt.Order, opt.Seed),
+	})
+}
+
+// BuildSerial constructs the index with the serial weighted PLL — the
+// baseline ParaPLL's speedups are measured against.
+func BuildSerial(g *Graph, opt Options) *Index {
+	return pll.Build(g, pll.Options{Order: computeOrder(g, opt.Order, opt.Seed)})
+}
+
+// KNNIndex answers k-nearest-neighbor queries ("the k closest vertices
+// to s") from an inverted 2-hop index; see NewKNN.
+type KNNIndex = knn.Index
+
+// KNNResult is one k-NN answer entry.
+type KNNResult = knn.Result
+
+// NewKNN inverts a built index for k-nearest-neighbor queries. The
+// inverted structure costs as much memory as the index itself;
+// KNNIndex.Query(s, k) then returns the k closest vertices with exact
+// distances in output-sensitive time.
+func NewKNN(x *Index) *KNNIndex { return knn.New(x) }
+
+// HopIndex is an unweighted (hop-count) index with a bit-parallel first
+// layer — the original PLL of Akiba et al. that ParaPLL generalizes.
+type HopIndex = pll.BPIndex
+
+// BuildUnweighted constructs a hop-count index, ignoring edge weights:
+// nBPRoots bit-parallel BFS roots (0 disables the optimization; 16 is a
+// good default on power-law graphs) followed by pruned BFSes. Queries
+// return the number of edges on a shortest path.
+func BuildUnweighted(g *Graph, nBPRoots int, opt Options) *HopIndex {
+	return pll.BuildUnweightedBP(g, nBPRoots, pll.Options{Order: computeOrder(g, opt.Order, opt.Seed)})
+}
+
+// BuildPathIndex constructs a path-augmented index: like Build, but each
+// label also records a predecessor, so PathIndex.Path(s, t) returns the
+// actual shortest-path vertex sequence, not just its length. Costs ~50%
+// more label memory than Build.
+func BuildPathIndex(g *Graph, opt Options) *PathIndex {
+	return pathidx.Build(g, pathidx.Options{
+		Threads: opt.Threads,
+		Policy:  opt.Policy,
+		Order:   computeOrder(g, opt.Order, opt.Seed),
+	})
+}
+
+// Digraph is an immutable directed weighted graph; Arc is one directed
+// edge. See BuildDirected.
+type (
+	Digraph = directed.Digraph
+	Arc     = directed.Arc
+	// DirectedIndex answers exact directed distance queries d(s→t).
+	DirectedIndex = directed.Index
+)
+
+// NewDigraph builds a directed graph from an arc list (self-loops
+// dropped, duplicate arcs keep the smallest weight).
+func NewDigraph(n int, arcs []Arc) *Digraph { return directed.FromArcs(n, arcs) }
+
+// BuildDirected indexes a directed graph with forward/backward pruned
+// landmark labels. Queries are one-directional: Query(s,t) = d(s→t).
+func BuildDirected(g *Digraph) *DirectedIndex {
+	return directed.Build(g, directed.Options{})
+}
+
+// DynamicIndex is a mutable index that stays exact under edge
+// insertions (InsertEdge) without rebuilding; see BuildDynamic.
+type DynamicIndex = dynamic.Index
+
+// BuildDynamic constructs a mutable index for a growing graph: queries
+// as usual, plus InsertEdge(u, v, w) repairs the labels incrementally.
+// Deletions are not supported.
+func BuildDynamic(g *Graph, opt Options) *DynamicIndex {
+	return dynamic.Build(g, pll.Options{Order: computeOrder(g, opt.Order, opt.Seed)})
+}
+
+// ClusterOptions configures distributed indexing.
+type ClusterOptions struct {
+	// Options configures each node's intra-node workers.
+	Options
+	// SyncCount is how many label synchronizations happen across the run
+	// (the paper's c; 1 — sync once at the end — is fastest).
+	SyncCount int
+}
+
+// BuildCluster runs this process's share of a distributed indexing job.
+// Every rank of comm must call it with the same graph and options; every
+// rank returns the identical cluster-wide index.
+func BuildCluster(g *Graph, comm Comm, opt ClusterOptions) (*Index, error) {
+	idx, _, err := cluster.Build(g, cluster.Options{
+		Comm:      comm,
+		Threads:   opt.Threads,
+		Policy:    opt.Policy,
+		Order:     computeOrder(g, opt.Order, opt.Seed),
+		SyncCount: opt.SyncCount,
+	})
+	return idx, err
+}
+
+// RunLocalCluster simulates a cluster of the given number of nodes inside
+// this process (channel transport) and returns the cluster-wide index.
+// Useful for exercising the distributed code path without deployment.
+func RunLocalCluster(g *Graph, nodes int, opt ClusterOptions) (*Index, error) {
+	if opt.Threads <= 0 {
+		// Split the machine's cores across the simulated nodes.
+		opt.Threads = (runtime.GOMAXPROCS(0) + nodes - 1) / nodes
+	}
+	idxs, _, err := cluster.RunLocal(g, nodes, cluster.Options{
+		Threads:   opt.Threads,
+		Policy:    opt.Policy,
+		Order:     computeOrder(g, opt.Order, opt.Seed),
+		SyncCount: opt.SyncCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idxs[0], nil
+}
+
+// ConnectTCP joins a real multi-process cluster: rank 0 listens on
+// rootAddr, every rank calls ConnectTCP with the same rootAddr and its
+// own rank. See cmd/parapll-node for a ready-made launcher.
+func ConnectTCP(rank, size int, rootAddr string) (Comm, error) {
+	return mpi.ConnectTCP(rank, size, rootAddr, "")
+}
+
+// Dijkstra returns single-source distances — the index-free baseline and
+// the ground truth the index is validated against.
+func Dijkstra(g *Graph, s Vertex) []Dist { return sssp.Dijkstra(g, s) }
+
+// QueryDirect answers one point-to-point query without an index (Dijkstra
+// with early exit) — the slow path the paper's introduction motivates
+// replacing.
+func QueryDirect(g *Graph, s, t Vertex) Dist { return sssp.Query(g, s, t) }
+
+// SaveGraph / LoadGraph persist graphs (text edge list for ".txt"/
+// ".edges", DIMACS for ".gr" on load, binary cache otherwise).
+func SaveGraph(path string, g *Graph) error { return fileio.SaveGraph(path, g) }
+func LoadGraph(path string) (*Graph, error) { return fileio.LoadGraph(path) }
+
+// SaveIndex / LoadIndex persist finalized indexes.
+func SaveIndex(path string, x *Index) error { return fileio.SaveIndex(path, x) }
+func LoadIndex(path string) (*Index, error) { return fileio.LoadIndex(path) }
+
+// GenerateDataset synthesizes one of the paper's Table-2 datasets by name
+// (e.g. "Skitter") at the given scale in (0,1]. The generated graph
+// matches the original's size and degree shape; see internal/gen for the
+// substitution rationale.
+func GenerateDataset(name string, scale float64) (*Graph, error) {
+	rec, err := gen.FindRecipe(name)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Generate(scale), nil
+}
+
+// DatasetNames lists the Table-2 dataset names in the paper's order.
+func DatasetNames() []string {
+	out := make([]string, len(gen.Datasets))
+	for i, rec := range gen.Datasets {
+		out[i] = rec.Name
+	}
+	return out
+}
