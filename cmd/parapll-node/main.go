@@ -41,6 +41,7 @@ func main() {
 		policy    = flag.String("policy", "dynamic", "intra-node policy: static or dynamic")
 		syncCount = flag.Int("syncs", 1, "number of label synchronizations (paper's c)")
 		launch    = flag.Bool("launch", false, "spawn size-1 child ranks locally and run as rank 0")
+		verbose   = flag.Bool("v", false, "report per-round sync volume and transport totals")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -59,7 +60,7 @@ func main() {
 		if *rank != 0 {
 			fatalf("-launch implies rank 0")
 		}
-		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount); err != nil {
+		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount, *verbose); err != nil {
 			fatalf("launching children: %v", err)
 		}
 	}
@@ -89,6 +90,17 @@ func main() {
 	fmt.Printf("rank %d: indexed in %.2fs (comp %.2fs, comm %.2fs, %d local roots, sent %d bytes) LN=%.1f\n",
 		*rank, time.Since(t0).Seconds(), st.CompTime.Seconds(), st.CommTime.Seconds(),
 		st.LocalRoots, st.BytesSent, idx.AvgLabelSize())
+	if *verbose {
+		for i, r := range st.Rounds {
+			fmt.Printf("rank %d: sync %d/%d: sent %d labels (%d bytes), merged %d labels (%d bytes)\n",
+				*rank, i+1, len(st.Rounds), r.UpdatesSent, r.BytesSent, r.UpdatesReceived, r.BytesReceived)
+		}
+		if ins, ok := comm.(mpi.Instrumented); ok {
+			cs := ins.Stats()
+			fmt.Printf("rank %d: transport: %d msgs / %d bytes sent, %d msgs / %d bytes received\n",
+				*rank, cs.MsgsSent, cs.BytesSent, cs.MsgsRecv, cs.BytesRecv)
+		}
+	}
 
 	if *out != "" {
 		if err := parapll.SaveIndex(*out, idx); err != nil {
@@ -101,7 +113,7 @@ func main() {
 // launchChildren starts ranks 1..size-1 as child processes of this binary
 // and returns immediately; the caller continues as rank 0. Children
 // inherit stdout/stderr.
-func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int) error {
+func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int, verbose bool) error {
 	if size < 2 {
 		return nil
 	}
@@ -113,7 +125,7 @@ func launchChildren(size int, rootAddr, graphPath string, threads int, policy st
 		return err
 	}
 	for r := 1; r < size; r++ {
-		cmd := exec.Command(self,
+		args := []string{
 			"-rank", fmt.Sprint(r),
 			"-size", fmt.Sprint(size),
 			"-root", rootAddr,
@@ -121,7 +133,11 @@ func launchChildren(size int, rootAddr, graphPath string, threads int, policy st
 			"-threads", fmt.Sprint(threads),
 			"-policy", policy,
 			"-syncs", fmt.Sprint(syncs),
-		)
+		}
+		if verbose {
+			args = append(args, "-v")
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

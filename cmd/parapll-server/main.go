@@ -1,19 +1,26 @@
 // parapll-server serves a built index as an HTTP JSON API — distance
-// queries, batches, optional path reconstruction, and stats.
+// queries, batches, optional path reconstruction, stats, and the
+// observability endpoints /metrics and /healthz.
 //
 // Usage:
 //
 //	parapll-server -index g.idx -addr :8080
 //	parapll-server -graph g.bin -addr :8080            # index on startup
 //	parapll-server -graph g.bin -paths -addr :8080     # also serve /path
+//	parapll-server -index g.idx -pprof -addr :8080     # + /debug/pprof/
 //
-// Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=   GET /stats
+// Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=
+// GET /knn?s=&k=   GET /stats   GET /metrics   GET /healthz
+// and, with -pprof, the standard net/http/pprof handlers under
+// /debug/pprof/ (opt-in: profiling endpoints leak internals and cost
+// CPU, so they stay off unless asked for).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -31,6 +38,7 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
 		threads   = flag.Int("threads", 0, "indexing threads (0 = all cores)")
 		paths     = flag.Bool("paths", false, "also build a path index and serve /path (needs -graph)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -48,7 +56,10 @@ func main() {
 			fatalf("loading graph: %v", err)
 		}
 		t0 := time.Now()
-		idx = parapll.Build(g, parapll.Options{Threads: *threads, Policy: parapll.Dynamic})
+		prog := &parapll.BuildProgress{}
+		stopLog := logProgress(prog)
+		idx = parapll.Build(g, parapll.Options{Threads: *threads, Policy: parapll.Dynamic, Progress: prog})
+		stopLog()
 		fmt.Printf("indexed %d vertices in %.2fs\n", g.NumVertices(), time.Since(t0).Seconds())
 	default:
 		fatalf("need -index or -graph")
@@ -68,10 +79,50 @@ func main() {
 		fmt.Printf("path index built in %.2fs\n", time.Since(t0).Seconds())
 	}
 
-	fmt.Printf("serving on http://%s  (n=%d, entries=%d, LN=%.1f, paths=%v)\n",
-		*addr, idx.NumVertices(), idx.NumEntries(), idx.AvgLabelSize(), pidx != nil)
-	if err := http.ListenAndServe(*addr, server.New(idx, pidx)); err != nil {
+	srv := server.New(idx, pidx)
+	handler := http.Handler(srv)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	fmt.Printf("serving on http://%s  (n=%d, entries=%d, LN=%.1f, paths=%v, pprof=%v)\n",
+		*addr, idx.NumVertices(), idx.NumEntries(), idx.AvgLabelSize(), pidx != nil, *pprofOn)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// logProgress samples prog every 2s and prints a one-line status until
+// the returned stop function is called. Quiet for fast builds: nothing
+// is printed before the first tick.
+func logProgress(prog *parapll.BuildProgress) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := prog.Snapshot()
+				fmt.Fprintf(os.Stderr, "indexing: %d/%d roots, %d labels, %d work ops\n",
+					s.RootsDone, s.TotalRoots, s.LabelsAdded, s.WorkOps)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 

@@ -82,6 +82,9 @@ type Options struct {
 	Seed uint64
 	// LazyHeap switches workers to the lazy binary heap.
 	LazyHeap bool
+	// Progress, when non-nil, receives this node's live build counters
+	// (roots done, labels added, work) for concurrent sampling.
+	Progress *core.Progress
 }
 
 // partitionRoots returns the roots owned by `rank` out of `size` nodes
@@ -113,6 +116,23 @@ func partitionRoots(ord []graph.Vertex, rank, size int, p Partition, seed uint64
 	return local
 }
 
+// RoundStats accounts one label synchronization from this node's
+// perspective: how many labels (and payload bytes) it contributed and
+// merged. With these, the paper's sync-frequency parameter c is
+// directly observable — each entry is one of the c rounds, and the
+// update counts show how delayed synchronization shifts volume toward
+// the final rounds.
+type RoundStats struct {
+	// UpdatesSent is how many labels this node contributed this round.
+	UpdatesSent int64
+	// BytesSent is the payload this node contributed this round.
+	BytesSent int64
+	// UpdatesReceived is how many labels were merged from other nodes.
+	UpdatesReceived int64
+	// BytesReceived is the payload merged from other nodes.
+	BytesReceived int64
+}
+
 // Stats reports the time breakdown the paper plots in Figure 7 (c)(d).
 type Stats struct {
 	// CompTime is wall time spent in local Pruned Dijkstra segments.
@@ -133,6 +153,8 @@ type Stats struct {
 	// it captures both load balance and the redundant labels delayed
 	// synchronization causes.
 	WorkOps int64
+	// Rounds has one entry per synchronization, in order (len == Syncs).
+	Rounds []RoundStats
 }
 
 // recordingStore wraps the shared intra-node store, additionally logging
@@ -223,8 +245,8 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 	ord := opt.Order
 	if ord == nil {
 		ord = graph.DegreeOrder(g)
-	} else if len(ord) != g.NumVertices() {
-		return nil, nil, fmt.Errorf("cluster: Order must be a permutation of the vertices")
+	} else if err := graph.CheckOrder(ord, g.NumVertices()); err != nil {
+		return nil, nil, fmt.Errorf("cluster: Order must be a permutation of the vertices: %w", err)
 	}
 
 	rank, size := opt.Comm.Rank(), opt.Comm.Size()
@@ -252,8 +274,11 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 
 		t0 := time.Now()
 		if len(segRoots) > 0 {
+			if opt.Progress != nil {
+				opt.Progress.AddRoots(int64(len(segRoots)))
+			}
 			mgr := newSegmentManager(segRoots, &opt)
-			for _, w := range core.RunWorkers(g, mgr, store, nil, opt.LazyHeap) {
+			for _, w := range core.RunWorkers(g, mgr, store, nil, opt.LazyHeap, opt.Progress) {
 				stats.WorkOps += w
 			}
 		}
@@ -291,6 +316,10 @@ func newSegmentManager(roots []graph.Vertex, opt *Options) task.Manager {
 // and merges the remote labels into the local store.
 func synchronize(comm mpi.Comm, store *recordingStore, n int, stats *Stats) error {
 	mine := packUpdates(store.takeList())
+	round := RoundStats{
+		UpdatesSent: int64(len(mine) / bytesPerUpdate),
+		BytesSent:   int64(len(mine)),
+	}
 	stats.BytesSent += int64(len(mine))
 	parts, err := mpi.Allgather(comm, mine)
 	if err != nil {
@@ -300,10 +329,13 @@ func synchronize(comm mpi.Comm, store *recordingStore, n int, stats *Stats) erro
 		if r == comm.Rank() {
 			continue
 		}
+		round.UpdatesReceived += int64(len(p) / bytesPerUpdate)
+		round.BytesReceived += int64(len(p))
 		stats.BytesReceived += int64(len(p))
 		if err := mergeUpdates(store.Store, p, n); err != nil {
 			return fmt.Errorf("cluster: merging from rank %d: %w", r, err)
 		}
 	}
+	stats.Rounds = append(stats.Rounds, round)
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"parapll/internal/graph"
 	"parapll/internal/label"
 	"parapll/internal/mpi"
+	"parapll/internal/order"
 	"parapll/internal/pll"
 	"parapll/internal/sssp"
 )
@@ -278,4 +279,93 @@ func reserveAddr(t *testing.T) string {
 	addr := ln.Addr().String()
 	ln.Close()
 	return addr
+}
+
+// TestPerRoundAccounting is the observability acceptance check: a
+// cluster build over the chanworld transport must report nonzero
+// per-round sync volume, consistent with the run totals.
+func TestPerRoundAccounting(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(302)), 60, 120)
+	_, stats, err := RunLocal(g, 3, Options{Threads: 2, SyncCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, s := range stats {
+		if len(s.Rounds) != s.Syncs || s.Syncs != 3 {
+			t.Fatalf("node %d: %d round entries for %d syncs", node, len(s.Rounds), s.Syncs)
+		}
+		var sent, recv, sentUpd int64
+		for i, r := range s.Rounds {
+			if r.BytesSent == 0 || r.UpdatesSent == 0 {
+				t.Errorf("node %d round %d: zero sent volume (%+v)", node, i, r)
+			}
+			if r.BytesReceived == 0 || r.UpdatesReceived == 0 {
+				t.Errorf("node %d round %d: zero received volume (%+v)", node, i, r)
+			}
+			if r.BytesSent != r.UpdatesSent*bytesPerUpdate {
+				t.Errorf("node %d round %d: %d bytes for %d updates", node, i, r.BytesSent, r.UpdatesSent)
+			}
+			sent += r.BytesSent
+			recv += r.BytesReceived
+			sentUpd += r.UpdatesSent
+		}
+		if sent != s.BytesSent || recv != s.BytesReceived {
+			t.Errorf("node %d: rounds sum to %d/%d bytes, totals are %d/%d",
+				node, sent, recv, s.BytesSent, s.BytesReceived)
+		}
+	}
+	// Every node's labels crossed the wire: the union of sent updates
+	// must cover each node's locally-generated labels.
+}
+
+// TestProgressOnCluster wires a core.Progress through a cluster build.
+func TestProgressOnCluster(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(303)), 40, 80)
+	nodes := 2
+	comms := mpi.World(nodes)
+	progs := make([]*core.Progress, nodes)
+	var wg sync.WaitGroup
+	errs := make([]error, nodes)
+	for r := 0; r < nodes; r++ {
+		progs[r] = &core.Progress{}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, _, errs[r] = Build(g, Options{
+				Comm: comms[r], Threads: 2, SyncCount: 2, Progress: progs[r],
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", r, err)
+		}
+	}
+	var roots int64
+	for r, p := range progs {
+		s := p.Snapshot()
+		if s.RootsDone != s.TotalRoots || s.RootsDone == 0 {
+			t.Errorf("node %d: roots %d/%d", r, s.RootsDone, s.TotalRoots)
+		}
+		if s.LabelsAdded == 0 || s.WorkOps == 0 {
+			t.Errorf("node %d: empty progress %+v", r, s)
+		}
+		roots += s.RootsDone
+	}
+	if roots != int64(g.NumVertices()) {
+		t.Errorf("cluster indexed %d roots, graph has %d vertices", roots, g.NumVertices())
+	}
+}
+
+// TestOrderValidationRejectsDuplicates: a duplicated vertex in the
+// global order must be rejected, not silently build a corrupt index.
+func TestOrderValidationRejectsDuplicates(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(304)), 10, 10)
+	ord := order.Degree(g)
+	ord[1] = ord[0] // duplicate
+	comms := mpi.World(1)
+	if _, _, err := Build(g, Options{Comm: comms[0], Order: ord}); err == nil {
+		t.Fatal("duplicate-vertex order accepted")
+	}
 }

@@ -70,7 +70,68 @@ type Options struct {
 	Trace *pll.Trace
 	// LazyHeap switches workers to the lazy binary heap (ablation).
 	LazyHeap bool
+	// Progress, when non-nil, receives live build counters (roots done,
+	// labels added, work performed) that other goroutines may sample
+	// concurrently. Updates cost a few atomic adds per completed root —
+	// off the per-edge hot path (see BenchmarkBuildProgressOverhead).
+	Progress *Progress
 }
+
+// Progress is a set of live build counters. A builder goroutine updates
+// it once per completed root; monitoring goroutines (a progress logger,
+// a /metrics endpoint) read it concurrently via Snapshot. The zero
+// value is ready to use, and one Progress must not be shared between
+// concurrent builds.
+type Progress struct {
+	totalRoots  atomic.Int64
+	rootsDone   atomic.Int64
+	labelsAdded atomic.Int64
+	pruned      atomic.Int64
+	workOps     atomic.Int64
+}
+
+// ProgressSnapshot is a point-in-time copy of a build's progress.
+type ProgressSnapshot struct {
+	// TotalRoots is the length of the computing sequence (0 until the
+	// build has started).
+	TotalRoots int64
+	// RootsDone is how many Pruned Dijkstra searches have completed.
+	RootsDone int64
+	// LabelsAdded is how many labels those searches appended.
+	LabelsAdded int64
+	// Pruned is how many settled vertices were pruned.
+	Pruned int64
+	// WorkOps is the machine-independent work performed so far (heap
+	// pops + relaxations + label scans).
+	WorkOps int64
+}
+
+// Snapshot reads the current counters. Individual fields are exact;
+// the set may tear relative to a root completing concurrently.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	return ProgressSnapshot{
+		TotalRoots:  p.totalRoots.Load(),
+		RootsDone:   p.rootsDone.Load(),
+		LabelsAdded: p.labelsAdded.Load(),
+		Pruned:      p.pruned.Load(),
+		WorkOps:     p.workOps.Load(),
+	}
+}
+
+// rootDone records one completed Pruned Dijkstra. p may be nil.
+func (p *Progress) rootDone(added, pruned, work int64) {
+	if p == nil {
+		return
+	}
+	p.rootsDone.Add(1)
+	p.labelsAdded.Add(added)
+	p.pruned.Add(pruned)
+	p.workOps.Add(work)
+}
+
+// AddRoots grows the expected-roots total; the cluster builder calls it
+// per segment because a node's sequence is revealed segment by segment.
+func (p *Progress) AddRoots(n int64) { p.totalRoots.Add(n) }
 
 // Build indexes g in parallel and returns the finalized 2-hop index.
 func Build(g *graph.Graph, opt Options) *label.Index {
@@ -128,8 +189,8 @@ func BuildInto(g *graph.Graph, store LabelStore, opt Options) *BuildStats {
 	ord := opt.Order
 	if ord == nil {
 		ord = graph.DegreeOrder(g)
-	} else if len(ord) != g.NumVertices() {
-		panic("core: Order must be a permutation of the vertices")
+	} else if err := graph.CheckOrder(ord, g.NumVertices()); err != nil {
+		panic("core: Order must be a permutation of the vertices: " + err.Error())
 	}
 	mgr := newManager(ord, &opt)
 	if opt.Trace != nil {
@@ -137,7 +198,10 @@ func BuildInto(g *graph.Graph, store LabelStore, opt Options) *BuildStats {
 		opt.Trace.PrunedPerRoot = make([]int64, len(ord))
 		opt.Trace.WorkPerRoot = make([]int64, len(ord))
 	}
-	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, opt.Trace, opt.LazyHeap)}
+	if opt.Progress != nil {
+		opt.Progress.totalRoots.Store(int64(len(ord)))
+	}
+	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, opt.Trace, opt.LazyHeap, opt.Progress)}
 }
 
 func newManager(ord []graph.Vertex, opt *Options) task.Manager {
@@ -157,8 +221,9 @@ func newManager(ord []graph.Vertex, opt *Options) task.Manager {
 // RunWorkers runs mgr.Workers() goroutines, each owning a pll.Searcher,
 // until the task manager is exhausted, and returns each worker's total
 // work. trace may be nil; when set, its slices must be at least as long
-// as the largest sequence position the manager hands out.
-func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.Trace, lazyHeap bool) []int64 {
+// as the largest sequence position the manager hands out. prog may be
+// nil; when set, it is updated once per completed root.
+func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.Trace, lazyHeap bool, prog *Progress) []int64 {
 	perWorker := make([]int64, mgr.Workers())
 	var wg sync.WaitGroup
 	for w := 0; w < mgr.Workers(); w++ {
@@ -181,6 +246,7 @@ func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.T
 					trace.PrunedPerRoot[pos] = pruned
 					trace.WorkPerRoot[pos] = ps.LastWork()
 				}
+				prog.rootDone(added, pruned, ps.LastWork())
 			}
 		}(w)
 	}
@@ -199,8 +265,8 @@ func BuildRelabeled(g *graph.Graph, opt Options) *label.Index {
 	ord := opt.Order
 	if ord == nil {
 		ord = graph.DegreeOrder(g)
-	} else if len(ord) != g.NumVertices() {
-		panic("core: Order must be a permutation of the vertices")
+	} else if err := graph.CheckOrder(ord, g.NumVertices()); err != nil {
+		panic("core: Order must be a permutation of the vertices: " + err.Error())
 	}
 	// perm[old] = new: sequence position becomes the id.
 	n := g.NumVertices()

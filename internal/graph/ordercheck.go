@@ -1,0 +1,27 @@
+package graph
+
+import "fmt"
+
+// CheckOrder verifies that ord is a true permutation of the n vertices
+// [0, n): right length, every id in range, no duplicates. Builders call
+// this before indexing because a length-only check lets an order with
+// repeated vertices through, and such an order silently yields a
+// corrupt index (missed roots never become hubs, so queries over-report
+// distances). O(n) time and one n-bit scratch slice — negligible next
+// to any index build.
+func CheckOrder(ord []Vertex, n int) error {
+	if len(ord) != n {
+		return fmt.Errorf("order has %d entries, graph has %d vertices", len(ord), n)
+	}
+	seen := make([]bool, n)
+	for i, v := range ord {
+		if int(v) < 0 || int(v) >= n {
+			return fmt.Errorf("order[%d] = %d is out of range [0,%d)", i, v, n)
+		}
+		if seen[v] {
+			return fmt.Errorf("order[%d] = %d appears more than once", i, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}

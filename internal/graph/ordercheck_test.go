@@ -1,0 +1,26 @@
+package graph
+
+import "testing"
+
+func TestCheckOrder(t *testing.T) {
+	if err := CheckOrder([]Vertex{2, 0, 1}, 3); err != nil {
+		t.Fatalf("valid permutation rejected: %v", err)
+	}
+	if err := CheckOrder(nil, 0); err != nil {
+		t.Fatalf("empty permutation rejected: %v", err)
+	}
+	for name, tc := range map[string]struct {
+		ord []Vertex
+		n   int
+	}{
+		"short":        {[]Vertex{0, 1}, 3},
+		"long":         {[]Vertex{0, 1, 2, 0}, 3},
+		"duplicate":    {[]Vertex{0, 1, 1}, 3},
+		"out-of-range": {[]Vertex{0, 1, 3}, 3},
+		"negative":     {[]Vertex{0, -1, 2}, 3},
+	} {
+		if err := CheckOrder(tc.ord, tc.n); err == nil {
+			t.Errorf("%s: CheckOrder(%v, %d) accepted", name, tc.ord, tc.n)
+		}
+	}
+}

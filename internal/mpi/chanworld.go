@@ -17,6 +17,7 @@ type chanMsg struct {
 // never blocks — matching MPI's buffered eager protocol for the message
 // sizes ParaPLL exchanges.
 type chanComm struct {
+	commCounters
 	rank  int
 	size  int
 	boxes []*mailbox // boxes[from]: messages sent to this rank by `from`
@@ -110,7 +111,11 @@ func (c *chanComm) Send(to int, tag Tag, data []byte) error {
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("mpi: send to rank %d out of range [0,%d)", to, c.size)
 	}
-	return c.world.comms[to].boxes[c.rank].put(chanMsg{tag: tag, data: data})
+	if err := c.world.comms[to].boxes[c.rank].put(chanMsg{tag: tag, data: data}); err != nil {
+		return err
+	}
+	c.countSend(len(data))
+	return nil
 }
 
 // Recv implements Comm.
@@ -118,7 +123,12 @@ func (c *chanComm) Recv(from int, tag Tag) ([]byte, error) {
 	if from < 0 || from >= c.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d out of range [0,%d)", from, c.size)
 	}
-	return c.boxes[from].take(tag)
+	data, err := c.boxes[from].take(tag)
+	if err != nil {
+		return nil, err
+	}
+	c.countRecv(len(data))
+	return data, nil
 }
 
 // Close implements Comm. It closes every mailbox in the world, releasing

@@ -20,6 +20,7 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 )
 
 // Tag discriminates message streams between the same pair of ranks.
@@ -54,6 +55,51 @@ type Comm interface {
 	Recv(from int, tag Tag) ([]byte, error)
 	// Close releases the transport. Further operations fail.
 	Close() error
+}
+
+// CommStats counts the traffic one rank's Comm has carried, payload
+// bytes only (the TCP transport's 8-byte frame headers and bootstrap
+// exchange are not counted, so both transports report identical numbers
+// for identical algorithm runs).
+type CommStats struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	BytesSent int64 `json:"bytes_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// Instrumented is implemented by transports that count their traffic.
+// Both built-in transports (World and ConnectTCP) do.
+type Instrumented interface {
+	// Stats returns the traffic this rank has sent and received so far.
+	// Safe to call concurrently with ongoing operations.
+	Stats() CommStats
+}
+
+// commCounters is the shared Instrumented implementation transports
+// embed; counting is two atomic adds per message.
+type commCounters struct {
+	msgsSent, bytesSent, msgsRecv, bytesRecv atomic.Int64
+}
+
+func (c *commCounters) countSend(payload int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(payload))
+}
+
+func (c *commCounters) countRecv(payload int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(payload))
+}
+
+// Stats implements Instrumented.
+func (c *commCounters) Stats() CommStats {
+	return CommStats{
+		MsgsSent:  c.msgsSent.Load(),
+		BytesSent: c.bytesSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+	}
 }
 
 // sendAsync fires a Send on its own goroutine and returns a channel with

@@ -407,3 +407,45 @@ func TestTCPBigPayload(t *testing.T) {
 		return nil
 	})
 }
+
+// TestCommStats checks both transports count payload traffic
+// identically: one 5-byte message each way between two ranks.
+func TestCommStats(t *testing.T) {
+	for name, comms := range transports(t, 2) {
+		runWorld(t, comms, func(c Comm) error {
+			peer := 1 - c.Rank()
+			errc := sendAsync(c, peer, TagUser, []byte("hello"))
+			if _, err := c.Recv(peer, TagUser); err != nil {
+				return err
+			}
+			return <-errc
+		})
+		for r, c := range comms {
+			ins, ok := c.(Instrumented)
+			if !ok {
+				t.Fatalf("%s rank %d: transport is not Instrumented", name, r)
+			}
+			want := CommStats{MsgsSent: 1, BytesSent: 5, MsgsRecv: 1, BytesRecv: 5}
+			if got := ins.Stats(); got != want {
+				t.Errorf("%s rank %d: stats = %+v, want %+v", name, r, got, want)
+			}
+		}
+	}
+}
+
+// TestCommStatsCollectives sanity-checks that collective traffic is
+// visible too and symmetric across a ring allgather.
+func TestCommStatsCollectives(t *testing.T) {
+	comms := World(4)
+	runWorld(t, comms, func(c Comm) error {
+		_, err := Allgather(c, bytes.Repeat([]byte{byte(c.Rank())}, 10))
+		return err
+	})
+	for r, c := range comms {
+		cs := c.(Instrumented).Stats()
+		// Ring allgather: size-1 sends and receives of 10-byte blocks.
+		if cs.MsgsSent != 3 || cs.BytesSent != 30 || cs.MsgsRecv != 3 || cs.BytesRecv != 30 {
+			t.Errorf("rank %d: stats = %+v", r, cs)
+		}
+	}
+}

@@ -33,6 +33,7 @@ const (
 )
 
 type tcpComm struct {
+	commCounters
 	rank, size int
 	peers      []*tcpPeer // peers[r] for r != rank, nil at own rank
 	boxes      []*mailbox
@@ -278,15 +279,24 @@ func (c *tcpComm) Send(to int, tag Tag, data []byte) error {
 		return fmt.Errorf("mpi: send to rank %d out of range", to)
 	}
 	if to == c.rank {
-		return c.boxes[c.rank].put(chanMsg{tag: tag, data: data})
+		if err := c.boxes[c.rank].put(chanMsg{tag: tag, data: data}); err != nil {
+			return err
+		}
+		c.countSend(len(data))
+		return nil
 	}
 	if c.closed.Load() {
 		return errors.New("mpi: send on closed comm")
 	}
 	p := c.peers[to]
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return writeFrame(p.conn, tag, data)
+	err := writeFrame(p.conn, tag, data)
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.countSend(len(data))
+	return nil
 }
 
 // Recv implements Comm.
@@ -294,7 +304,12 @@ func (c *tcpComm) Recv(from int, tag Tag) ([]byte, error) {
 	if from < 0 || from >= c.size {
 		return nil, fmt.Errorf("mpi: recv from rank %d out of range", from)
 	}
-	return c.boxes[from].take(tag)
+	data, err := c.boxes[from].take(tag)
+	if err != nil {
+		return nil, err
+	}
+	c.countRecv(len(data))
+	return data, nil
 }
 
 // Close implements Comm.

@@ -66,8 +66,8 @@ func Build(g *graph.Graph, opt Options) *label.Index {
 	ord := opt.Order
 	if ord == nil {
 		ord = graph.DegreeOrder(g)
-	} else if len(ord) != n {
-		panic("pll: Order must be a permutation of the vertices")
+	} else if err := graph.CheckOrder(ord, n); err != nil {
+		panic("pll: Order must be a permutation of the vertices: " + err.Error())
 	}
 	if opt.Trace != nil {
 		opt.Trace.alloc(n)

@@ -257,3 +257,20 @@ func BenchmarkBuildSerial(b *testing.B) {
 		})
 	}
 }
+
+func TestBuildOrderValidationDuplicates(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(2)), 5, 5)
+	for name, ord := range map[string][]graph.Vertex{
+		"duplicate":    {0, 1, 2, 3, 3},
+		"out-of-range": {0, 1, 2, 3, 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Build accepted corrupt order", name)
+				}
+			}()
+			Build(g, Options{Order: ord})
+		}()
+	}
+}

@@ -9,45 +9,115 @@
 //	POST /batch           ← {"pairs":[[s,t],...]}
 //	                      → {"dists":[...]} (-1 encodes unreachable)
 //	GET  /path?s=A&t=B    → {"path":[...],"dist":D} (404 if no path index)
+//	GET  /knn?s=A&k=N     → k closest vertices with exact distances
 //	GET  /stats           → index size statistics
+//	GET  /healthz         → {"status":"ok"} liveness probe
+//	GET  /metrics         → metrics.Snapshot JSON: per-endpoint request
+//	                        and error counts, latency histograms, and an
+//	                        in-flight gauge
+//
+// Every endpoint enforces its method (405 otherwise) and is wrapped in
+// the same instrumentation middleware, so /metrics always reflects the
+// full request stream, including rejected requests.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"parapll/internal/graph"
 	"parapll/internal/knn"
 	"parapll/internal/label"
+	"parapll/internal/metrics"
 	"parapll/internal/pathidx"
 )
 
 // Server answers distance queries over HTTP from a finalized index and,
 // optionally, a path-augmented index for route reconstruction.
 type Server struct {
-	idx     *label.Index
-	pidx    *pathidx.Index // may be nil: /path then returns 404
-	knn     *knn.Index     // built lazily on the first /knn request
-	knnOnce sync.Once
-	mux     *http.ServeMux
+	idx      *label.Index
+	pidx     *pathidx.Index // may be nil: /path then returns 404
+	knn      *knn.Index     // built lazily on the first /knn request
+	knnOnce  sync.Once
+	mux      *http.ServeMux
+	reg      *metrics.Registry
+	inflight *metrics.Gauge
 }
 
-// New builds the handler. pidx may be nil to disable /path.
+// New builds the handler with its own metrics registry. pidx may be nil
+// to disable /path.
 func New(idx *label.Index, pidx *pathidx.Index) *Server {
-	s := &Server{idx: idx, pidx: pidx, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/batch", s.handleBatch)
-	s.mux.HandleFunc("/path", s.handlePath)
-	s.mux.HandleFunc("/knn", s.handleKNN)
-	s.mux.HandleFunc("/stats", s.handleStats)
+	return NewWithRegistry(idx, pidx, metrics.NewRegistry())
+}
+
+// NewWithRegistry builds the handler recording into reg, letting the
+// embedding process (cmd/parapll-server) share one registry between the
+// HTTP layer and anything else it instruments.
+func NewWithRegistry(idx *label.Index, pidx *pathidx.Index, reg *metrics.Registry) *Server {
+	s := &Server{idx: idx, pidx: pidx, mux: http.NewServeMux(), reg: reg}
+	s.inflight = reg.Gauge("http.inflight")
+	s.handle("/query", http.MethodGet, s.handleQuery)
+	s.handle("/batch", http.MethodPost, s.handleBatch)
+	s.handle("/path", http.MethodGet, s.handlePath)
+	s.handle("/knn", http.MethodGet, s.handleKNN)
+	s.handle("/stats", http.MethodGet, s.handleStats)
+	s.handle("/healthz", http.MethodGet, s.handleHealthz)
+	s.handle("/metrics", http.MethodGet, s.handleMetrics)
 	return s
 }
 
+// Registry returns the registry this server records into.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter remembers the first status code a handler wrote so the
+// middleware can count errors without re-deriving them per handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers h at path behind the shared middleware: a method
+// guard (the same 405 on every endpoint) plus per-endpoint request and
+// error counters and a latency histogram, all resolved once here so the
+// request path touches only atomics.
+func (s *Server) handle(path, method string, h http.HandlerFunc) {
+	name := strings.TrimPrefix(path, "/")
+	requests := s.reg.Counter("http.requests." + name)
+	errorsC := s.reg.Counter("http.errors." + name)
+	latency := s.reg.Histogram("http.latency_us."+name, metrics.DefaultLatencyBuckets)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		if r.Method != method {
+			writeErr(sw, http.StatusMethodNotAllowed, fmt.Errorf("%s only", method))
+		} else {
+			h(sw, r)
+		}
+		latency.Observe(time.Since(start).Microseconds())
+		if sw.status >= 400 {
+			errorsC.Inc()
+		}
+	})
+}
 
 func (s *Server) vertexParam(r *http.Request, name string) (graph.Vertex, error) {
 	raw := r.URL.Query().Get(name)
@@ -90,10 +160,6 @@ func encodeDist(d graph.Dist) int64 {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
-		return
-	}
 	src, err := s.vertexParam(r, "s")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -118,15 +184,25 @@ type batchResponse struct {
 	Dists []int64 `json:"dists"`
 }
 
-const maxBatch = 100000
+const (
+	maxBatch = 100000
+	// maxBatchBytes bounds the /batch request body before JSON decoding
+	// starts: a maxBatch-pair payload of maximal vertex ids is ~2 MiB, so
+	// 8 MiB leaves headroom without letting a client stream gigabytes
+	// into the decoder.
+	maxBatchBytes = 8 << 20
+)
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
-		return
-	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxBatchBytes))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
@@ -220,4 +296,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AvgLabelSize: s.idx.AvgLabelSize(),
 		HasPathIndex: s.pidx != nil,
 	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"parapll/internal/graph"
+	"parapll/internal/metrics"
 	"parapll/internal/pathidx"
 	"parapll/internal/pll"
 	"parapll/internal/sssp"
@@ -224,5 +225,128 @@ func TestConcurrentQueries(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// do issues a method/path request and returns the status code.
+func do(t *testing.T, method, url string, body []byte) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestMethodNotAllowedEverywhere(t *testing.T) {
+	ts, _ := testServer(t, true)
+	cases := map[string]string{
+		"/query?s=0&t=1": http.MethodPost,
+		"/batch":         http.MethodGet,
+		"/path?s=0&t=1":  http.MethodDelete,
+		"/knn?s=0&k=1":   http.MethodPost,
+		"/stats":         http.MethodPut,
+		"/metrics":       http.MethodPost,
+		"/healthz":       http.MethodPost,
+	}
+	for path, method := range cases {
+		if code := do(t, method, ts.URL+path, nil); code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", method, path, code)
+		}
+	}
+}
+
+func TestBatchOversizedBody(t *testing.T) {
+	ts, _ := testServer(t, false)
+	// A syntactically valid prefix that keeps the decoder reading past
+	// the byte limit.
+	body := append([]byte(`{"pairs":[`), bytes.Repeat([]byte("[0,1],"), maxBatchBytes/6+2)...)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e["error"] == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestBatchPairOutOfRange(t *testing.T) {
+	ts, _ := testServer(t, false)
+	for name, body := range map[string]string{
+		"too-big":  `{"pairs":[[0,1],[0,99]]}`,
+		"negative": `{"pairs":[[-1,0]]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	ts, _ := testServer(t, false)
+	var resp map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp["status"] != "ok" {
+		t.Fatalf("healthz = %v", resp)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := testServer(t, false)
+	// Two good queries, one bad (400), one bad method (405).
+	var q queryResponse
+	getJSON(t, ts.URL+"/query?s=0&t=1", &q)
+	getJSON(t, ts.URL+"/query?s=1&t=2", &q)
+	var e map[string]string
+	getJSON(t, ts.URL+"/query?s=99&t=1", &e)
+	do(t, http.MethodPost, ts.URL+"/query?s=0&t=1", nil)
+
+	var snap metrics.Snapshot
+	if code := getJSON(t, ts.URL+"/metrics", &snap); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got := snap.Counters["http.requests.query"]; got != 4 {
+		t.Errorf("requests.query = %d, want 4", got)
+	}
+	if got := snap.Counters["http.errors.query"]; got != 2 {
+		t.Errorf("errors.query = %d, want 2", got)
+	}
+	h, ok := snap.Histograms["http.latency_us.query"]
+	if !ok || h.Count != 4 {
+		t.Fatalf("latency histogram = %+v (ok=%v), want count 4", h, ok)
+	}
+	var bucketed int64
+	for _, b := range h.Buckets {
+		bucketed += b.Count
+	}
+	if bucketed != h.Count {
+		t.Errorf("bucket counts sum to %d, histogram count %d", bucketed, h.Count)
+	}
+	if _, ok := snap.Gauges["http.inflight"]; !ok {
+		t.Error("missing http.inflight gauge")
+	}
+	// The /metrics request itself was counted as in progress.
+	if got := snap.Counters["http.requests.metrics"]; got != 1 {
+		t.Errorf("requests.metrics = %d, want 1", got)
 	}
 }

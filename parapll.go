@@ -99,7 +99,15 @@ type Options struct {
 	Order Ordering
 	// Seed feeds OrderPsi / OrderRandom.
 	Seed uint64
+	// Progress, when non-nil, receives live build counters that another
+	// goroutine may sample with Snapshot while Build runs.
+	Progress *BuildProgress
 }
+
+// BuildProgress holds live counters of a running Build; see
+// Options.Progress. Its Snapshot method is safe to call concurrently
+// with the build.
+type BuildProgress = core.Progress
 
 func computeOrder(g *Graph, o Ordering, seed uint64) []Vertex {
 	switch o {
@@ -124,9 +132,10 @@ func NewGraph(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 // intra-node ParaPLL).
 func Build(g *Graph, opt Options) *Index {
 	return core.Build(g, core.Options{
-		Threads: opt.Threads,
-		Policy:  opt.Policy,
-		Order:   computeOrder(g, opt.Order, opt.Seed),
+		Threads:  opt.Threads,
+		Policy:   opt.Policy,
+		Order:    computeOrder(g, opt.Order, opt.Seed),
+		Progress: opt.Progress,
 	})
 }
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Repo-wide checks: the tier-1 command (build + full tests) plus static
+# vetting and a race-detector pass over the short suite. Run before
+# every PR:
+#   scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
+echo "== go test ./... (tier-1)"
+go test ./...
+
+echo "all checks passed"
