@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,all")
+		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,all")
 		scale    = flag.Float64("scale", 0.02, "dataset scale in (0,1]; 1.0 = paper-scale (slow!)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 		threads  = flag.String("threads", "1,2,4,6,8,10,12", "thread sweep for tables 3-4")
@@ -30,6 +30,7 @@ func main() {
 		fig7n    = flag.Int("fig7nodes", 6, "cluster size for figure 7")
 		perNode  = flag.Int("threads-per-node", 2, "threads per simulated cluster node")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
+		jsonPath = flag.String("json", "", "write the sync experiment's raw records as JSON to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		name string
 		run  func() (*bench.Table, error)
 	}
+	var syncResults []bench.SyncResult
 	all := []runner{
 		{"table3", func() (*bench.Table, error) { return bench.RunTable3(cfg) }},
 		{"table4", func() (*bench.Table, error) { return bench.RunTable4(cfg) }},
@@ -61,6 +63,14 @@ func main() {
 		{"fig7", func() (*bench.Table, error) { return bench.RunFig7(cfg, *fig7n, *perNode) }},
 		{"query", func() (*bench.Table, error) { return bench.RunQueryComparison(cfg, maxOf(cfg.Threads)) }},
 		{"ablations", func() (*bench.Table, error) { return bench.RunAblations(cfg, maxOf(cfg.Threads)) }},
+		{"sync", func() (*bench.Table, error) {
+			table, results, err := bench.RunSync(cfg, *fig7n, *perNode)
+			if err != nil {
+				return nil, err
+			}
+			syncResults = append(syncResults, results...)
+			return table, nil
+		}},
 	}
 	var selected []runner
 	if *exp == "all" {
@@ -98,6 +108,19 @@ func main() {
 			if err := table.WriteCSV(csvFile); err != nil {
 				fatalf("csv %s: %v", r.name, err)
 			}
+		}
+	}
+	if *jsonPath != "" {
+		if len(syncResults) == 0 {
+			fatalf("-json requires the sync experiment (-exp sync or -exp all)")
+		}
+		jf, err := os.Create(*jsonPath)
+		if err != nil {
+			fatalf("creating %s: %v", *jsonPath, err)
+		}
+		defer jf.Close()
+		if err := bench.WriteSyncJSON(jf, syncResults); err != nil {
+			fatalf("json: %v", err)
 		}
 	}
 }

@@ -40,6 +40,7 @@ func main() {
 		threads   = flag.Int("threads", 0, "worker threads per node (0 = all cores)")
 		policy    = flag.String("policy", "dynamic", "intra-node policy: static or dynamic")
 		syncCount = flag.Int("syncs", 1, "number of label synchronizations (paper's c)")
+		overlap   = flag.Bool("overlap", false, "overlap each sync's exchange+merge with the next segment's computation (must match on every rank)")
 		launch    = flag.Bool("launch", false, "spawn size-1 child ranks locally and run as rank 0")
 		verbose   = flag.Bool("v", false, "report per-round sync volume and transport totals")
 	)
@@ -60,7 +61,7 @@ func main() {
 		if *rank != 0 {
 			fatalf("-launch implies rank 0")
 		}
-		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount, *verbose); err != nil {
+		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount, *overlap, *verbose); err != nil {
 			fatalf("launching children: %v", err)
 		}
 	}
@@ -83,6 +84,7 @@ func main() {
 		Policy:    pol,
 		Order:     order.Degree(g),
 		SyncCount: *syncCount,
+		Overlap:   *overlap,
 	})
 	if err != nil {
 		fatalf("indexing: %v", err)
@@ -92,9 +94,17 @@ func main() {
 		st.LocalRoots, st.BytesSent, idx.AvgLabelSize())
 	if *verbose {
 		for i, r := range st.Rounds {
-			fmt.Printf("rank %d: sync %d/%d: sent %d labels (%d bytes), merged %d labels (%d bytes)\n",
-				*rank, i+1, len(st.Rounds), r.UpdatesSent, r.BytesSent, r.UpdatesReceived, r.BytesReceived)
+			fmt.Printf("rank %d: sync %d/%d: sent %d labels (%d wire / %d raw bytes), merged %d labels (%d wire / %d raw bytes)\n",
+				*rank, i+1, len(st.Rounds), r.UpdatesSent, r.BytesSent, r.RawBytesSent,
+				r.UpdatesReceived, r.BytesReceived, r.RawBytesReceived)
 		}
+		ratio := 1.0
+		if st.BytesSent+st.BytesReceived > 0 {
+			ratio = float64(st.RawBytesSent+st.RawBytesReceived) / float64(st.BytesSent+st.BytesReceived)
+		}
+		fmt.Printf("rank %d: sync totals: %d wire / %d raw bytes (%.2fx compression), finalize %.3fs\n",
+			*rank, st.BytesSent+st.BytesReceived, st.RawBytesSent+st.RawBytesReceived, ratio,
+			st.FinalizeTime.Seconds())
 		if ins, ok := comm.(mpi.Instrumented); ok {
 			cs := ins.Stats()
 			fmt.Printf("rank %d: transport: %d msgs / %d bytes sent, %d msgs / %d bytes received\n",
@@ -113,7 +123,7 @@ func main() {
 // launchChildren starts ranks 1..size-1 as child processes of this binary
 // and returns immediately; the caller continues as rank 0. Children
 // inherit stdout/stderr.
-func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int, verbose bool) error {
+func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int, overlap, verbose bool) error {
 	if size < 2 {
 		return nil
 	}
@@ -133,6 +143,9 @@ func launchChildren(size int, rootAddr, graphPath string, threads int, policy st
 			"-threads", fmt.Sprint(threads),
 			"-policy", policy,
 			"-syncs", fmt.Sprint(syncs),
+		}
+		if overlap {
+			args = append(args, "-overlap")
 		}
 		if verbose {
 			args = append(args, "-v")

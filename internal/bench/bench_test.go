@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -175,6 +176,48 @@ func TestRunFig7(t *testing.T) {
 		if lastLN > first+0.5 {
 			t.Fatalf("LN grew with more syncs: c=1 -> %.1f, c=max -> %.1f", first, lastLN)
 		}
+	}
+}
+
+func TestRunSync(t *testing.T) {
+	cfg := smokeConfig()
+	table, results, err := RunSync(cfg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.Datasets) * len(cfg.SyncCounts) * 2 // blocking + overlapped
+	if len(table.Rows) != want || len(results) != want {
+		t.Fatalf("rows=%d results=%d, want %d", len(table.Rows), len(results), want)
+	}
+	overlapSeen := map[bool]bool{}
+	for i, r := range results {
+		overlapSeen[r.Overlap] = true
+		if r.WallSeconds <= 0 || r.Entries <= 0 || r.AvgLabel < 1 {
+			t.Fatalf("result %d implausible: %+v", i, r)
+		}
+		if r.UpdatesSent <= 0 || r.WireBytes <= 0 {
+			t.Fatalf("result %d has no sync volume: %+v", i, r)
+		}
+		if r.RawBytes != r.UpdatesSent*12 {
+			t.Fatalf("result %d raw bytes %d != 12 * %d updates", i, r.RawBytes, r.UpdatesSent)
+		}
+		if r.Compression <= 1 {
+			t.Fatalf("result %d compression %v not > 1", i, r.Compression)
+		}
+	}
+	if !overlapSeen[false] || !overlapSeen[true] {
+		t.Fatal("missing blocking or overlapped results")
+	}
+	var buf bytes.Buffer
+	if err := WriteSyncJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []SyncResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_sync.json does not round-trip: %v", err)
+	}
+	if len(back) != len(results) || back[0] != results[0] {
+		t.Fatal("JSON round-trip lost data")
 	}
 }
 

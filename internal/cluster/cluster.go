@@ -13,9 +13,7 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"fmt"
-	"sync"
 	"time"
 
 	"parapll/internal/core"
@@ -85,6 +83,14 @@ type Options struct {
 	// Progress, when non-nil, receives this node's live build counters
 	// (roots done, labels added, work) for concurrent sampling.
 	Progress *core.Progress
+	// Overlap enables overlapped synchronization: segment s+1's Pruned
+	// Dijkstras start while segment s's labels are still being exchanged
+	// and merged in the background. Late-arriving labels only weaken
+	// pruning (Proposition 1: every label is a real path length, so the
+	// QUERY minimum stays exact) — queries remain exact and all ranks
+	// still converge to identical indexes, at the cost of somewhat more
+	// redundant labels. Every rank must pass the same value.
+	Overlap bool
 }
 
 // partitionRoots returns the roots owned by `rank` out of `size` nodes
@@ -125,26 +131,47 @@ func partitionRoots(ord []graph.Vertex, rank, size int, p Partition, seed uint64
 type RoundStats struct {
 	// UpdatesSent is how many labels this node contributed this round.
 	UpdatesSent int64
-	// BytesSent is the payload this node contributed this round.
+	// BytesSent is the wire payload this node contributed this round
+	// (after varint-delta compression).
 	BytesSent int64
+	// RawBytesSent is what the same updates would cost uncompressed
+	// (12 bytes per update) — BytesSent/RawBytesSent is the observable
+	// compression ratio.
+	RawBytesSent int64
 	// UpdatesReceived is how many labels were merged from other nodes.
 	UpdatesReceived int64
-	// BytesReceived is the payload merged from other nodes.
+	// BytesReceived is the wire payload merged from other nodes.
 	BytesReceived int64
+	// RawBytesReceived is the uncompressed size of the merged payload.
+	RawBytesReceived int64
 }
 
 // Stats reports the time breakdown the paper plots in Figure 7 (c)(d).
 type Stats struct {
 	// CompTime is wall time spent in local Pruned Dijkstra segments.
 	CompTime time.Duration
-	// CommTime is wall time spent packing, exchanging and merging labels.
+	// CommTime is wall time the build loop spent blocked on
+	// synchronization: packing pending updates plus waiting for the
+	// exchange and merge. In overlapped mode (Options.Overlap) the
+	// exchange and merge run concurrently with the next segment's
+	// computation, so CommTime is the *exposed* communication cost —
+	// the part overlap failed to hide — not total transfer time.
 	CommTime time.Duration
+	// FinalizeTime is wall time spent converting the label store into
+	// the immutable query index after the last sync. It is neither
+	// computation (no Dijkstras) nor communication, so it is reported
+	// on its own rather than distorting the Figure 7 breakdown.
+	FinalizeTime time.Duration
 	// Syncs is the number of synchronizations performed.
 	Syncs int
-	// BytesSent is the total payload this node contributed to syncs.
+	// BytesSent is the total wire payload this node contributed.
 	BytesSent int64
-	// BytesReceived is the total payload merged from other nodes.
+	// BytesReceived is the total wire payload merged from other nodes.
 	BytesReceived int64
+	// RawBytesSent / RawBytesReceived are the uncompressed equivalents
+	// (12 bytes per update), for observing the compression ratio.
+	RawBytesSent     int64
+	RawBytesReceived int64
 	// LocalRoots is how many Pruned Dijkstra roots this node indexed.
 	LocalRoots int
 	// WorkOps is this node's machine-independent work (heap pops +
@@ -157,83 +184,16 @@ type Stats struct {
 	Rounds []RoundStats
 }
 
-// recordingStore wraps the shared intra-node store, additionally logging
-// every new label into the pending update List (Algorithm 3 lines 9–10)
-// for the next synchronization.
-type recordingStore struct {
-	*label.Store
-	mu   sync.Mutex
-	list []update
-}
-
-type update struct {
-	v, hub graph.Vertex
-	d      graph.Dist
-}
-
-func (rs *recordingStore) Append(v, hub graph.Vertex, d graph.Dist) {
-	rs.Store.Append(v, hub, d)
-	rs.mu.Lock()
-	rs.list = append(rs.list, update{v: v, hub: hub, d: d})
-	rs.mu.Unlock()
-}
-
-// takeList returns and clears the pending updates.
-func (rs *recordingStore) takeList() []update {
-	rs.mu.Lock()
-	out := rs.list
-	rs.list = nil
-	rs.mu.Unlock()
-	return out
-}
-
-const bytesPerUpdate = 12
-
-func packUpdates(list []update) []byte {
-	buf := make([]byte, len(list)*bytesPerUpdate)
-	for i, u := range list {
-		o := i * bytesPerUpdate
-		binary.LittleEndian.PutUint32(buf[o:o+4], uint32(u.v))
-		binary.LittleEndian.PutUint32(buf[o+4:o+8], uint32(u.hub))
-		binary.LittleEndian.PutUint32(buf[o+8:o+12], uint32(u.d))
-	}
-	return buf
-}
-
-// mergeUpdates applies a packed update block from another node.
-func mergeUpdates(store *label.Store, buf []byte, n int) error {
-	if len(buf)%bytesPerUpdate != 0 {
-		return fmt.Errorf("cluster: corrupt sync payload (%d bytes)", len(buf))
-	}
-	// Group consecutive updates for the same vertex to amortize locking.
-	var pendingV graph.Vertex = -1
-	var pending []label.Entry
-	flush := func() {
-		if len(pending) > 0 {
-			store.BulkAppend(pendingV, pending)
-			pending = pending[:0]
-		}
-	}
-	for o := 0; o < len(buf); o += bytesPerUpdate {
-		v := graph.Vertex(binary.LittleEndian.Uint32(buf[o : o+4]))
-		hub := graph.Vertex(binary.LittleEndian.Uint32(buf[o+4 : o+8]))
-		d := graph.Dist(binary.LittleEndian.Uint32(buf[o+8 : o+12]))
-		if int(v) < 0 || int(v) >= n || int(hub) < 0 || int(hub) >= n {
-			return fmt.Errorf("cluster: sync update out of range (v=%d hub=%d)", v, hub)
-		}
-		if v != pendingV {
-			flush()
-			pendingV = v
-		}
-		pending = append(pending, label.Entry{Hub: hub, D: d})
-	}
-	flush()
-	return nil
-}
-
 // Build runs this node's share of the cluster indexing and returns the
 // final (cluster-wide, identical on every node) index plus the time
 // breakdown. It must be called concurrently on every rank of opt.Comm.
+//
+// Synchronization is a four-stage pipeline: workers *record* every new
+// local label into per-worker pending lists, the lists are sorted and
+// *packed* into a varint-delta frame, frames are *exchanged* via
+// allgather, and remote frames are *merged* with vertices sharded
+// across goroutines. With Options.Overlap the exchange and merge of
+// segment s run in the background while segment s+1 computes.
 func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 	if opt.Comm == nil {
 		return nil, nil, fmt.Errorf("cluster: Options.Comm is required")
@@ -247,6 +207,9 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 		ord = graph.DegreeOrder(g)
 	} else if err := graph.CheckOrder(ord, g.NumVertices()); err != nil {
 		return nil, nil, fmt.Errorf("cluster: Order must be a permutation of the vertices: %w", err)
+	}
+	if opt.Threads <= 0 {
+		opt.Threads = defaultThreads()
 	}
 
 	rank, size := opt.Comm.Rank(), opt.Comm.Size()
@@ -265,6 +228,8 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 			c = 1
 		}
 	}
+
+	st := &syncState{comm: opt.Comm, n: g.NumVertices(), shards: opt.Threads}
 
 	// Process the local list in c segments, synchronizing after each.
 	for seg := 0; seg < c; seg++ {
@@ -285,57 +250,40 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 		stats.CompTime += time.Since(t0)
 
 		t1 := time.Now()
-		if err := synchronize(opt.Comm, store, g.NumVertices(), stats); err != nil {
+		// Join the previous round before starting this one: collective
+		// tags must not interleave, and takePending must not race the
+		// in-flight merge. In blocking mode the previous round was
+		// already joined, so this is a no-op.
+		if err := st.wait(stats); err != nil {
 			return nil, nil, err
 		}
+		st.start(store)
+		if !opt.Overlap {
+			if err := st.wait(stats); err != nil {
+				return nil, nil, err
+			}
+		}
 		stats.CommTime += time.Since(t1)
-		stats.Syncs++
 	}
+
+	// Overlapped mode leaves the final round in flight; join it.
+	t1 := time.Now()
+	if err := st.wait(stats); err != nil {
+		return nil, nil, err
+	}
+	stats.CommTime += time.Since(t1)
 
 	t2 := time.Now()
 	idx := label.NewIndex(store.Store)
-	stats.CompTime += time.Since(t2)
+	stats.FinalizeTime = time.Since(t2)
 	return idx, stats, nil
 }
 
 func newSegmentManager(roots []graph.Vertex, opt *Options) task.Manager {
-	threads := opt.Threads
-	if threads <= 0 {
-		threads = defaultThreads()
-	}
 	switch opt.Policy {
 	case core.Dynamic:
-		return task.NewDynamic(roots, threads, opt.Chunk)
+		return task.NewDynamic(roots, opt.Threads, opt.Chunk)
 	default:
-		return task.NewStatic(roots, threads)
+		return task.NewStatic(roots, opt.Threads)
 	}
-}
-
-// synchronize exchanges every node's pending update List with all other
-// nodes (allgather — the paper's gather of Lists in Algorithm 3 line 15)
-// and merges the remote labels into the local store.
-func synchronize(comm mpi.Comm, store *recordingStore, n int, stats *Stats) error {
-	mine := packUpdates(store.takeList())
-	round := RoundStats{
-		UpdatesSent: int64(len(mine) / bytesPerUpdate),
-		BytesSent:   int64(len(mine)),
-	}
-	stats.BytesSent += int64(len(mine))
-	parts, err := mpi.Allgather(comm, mine)
-	if err != nil {
-		return fmt.Errorf("cluster: sync: %w", err)
-	}
-	for r, p := range parts {
-		if r == comm.Rank() {
-			continue
-		}
-		round.UpdatesReceived += int64(len(p) / bytesPerUpdate)
-		round.BytesReceived += int64(len(p))
-		stats.BytesReceived += int64(len(p))
-		if err := mergeUpdates(store.Store, p, n); err != nil {
-			return fmt.Errorf("cluster: merging from rank %d: %w", r, err)
-		}
-	}
-	stats.Rounds = append(stats.Rounds, round)
-	return nil
 }

@@ -138,13 +138,13 @@ func TestSyncAccounting(t *testing.T) {
 		}
 		sent += s.BytesSent
 		recv += s.BytesReceived
+		if s.RawBytesSent%bytesPerUpdate != 0 {
+			t.Fatalf("raw sent bytes %d not a multiple of update size", s.RawBytesSent)
+		}
 	}
 	// Every byte sent is received by nodes-1 peers.
 	if recv != 2*sent {
 		t.Fatalf("received %d bytes, want 2x sent (%d)", recv, 2*sent)
-	}
-	if sent%bytesPerUpdate != 0 {
-		t.Fatalf("sent bytes %d not a multiple of update size", sent)
 	}
 }
 
@@ -253,16 +253,16 @@ func TestSyncCountClampUnevenPartition(t *testing.T) {
 
 func TestMergeUpdatesValidation(t *testing.T) {
 	store := label.NewStore(4)
-	if err := mergeUpdates(store, []byte{1, 2, 3}, 4); err == nil {
-		t.Fatal("misaligned payload accepted")
+	if _, err := mergeFrame(store, []byte{1, 2, 3}, 4, 1); err == nil {
+		t.Fatal("garbage payload accepted")
 	}
-	bad := packUpdates([]update{{v: 99, hub: 0, d: 1}})
-	if err := mergeUpdates(store, bad, 4); err == nil {
+	bad := packUpdates(nil, []update{{v: 99, hub: 0, d: 1}})
+	if _, err := mergeFrame(store, bad, 4, 1); err == nil {
 		t.Fatal("out-of-range vertex accepted")
 	}
-	good := packUpdates([]update{{v: 1, hub: 2, d: 7}, {v: 1, hub: 3, d: 8}, {v: 2, hub: 0, d: 9}})
-	if err := mergeUpdates(store, good, 4); err != nil {
-		t.Fatal(err)
+	good := packUpdates(nil, []update{{v: 1, hub: 2, d: 7}, {v: 1, hub: 3, d: 8}, {v: 2, hub: 0, d: 9}})
+	if n, err := mergeFrame(store, good, 4, 2); err != nil || n != 3 {
+		t.Fatalf("merge: n=%d err=%v", n, err)
 	}
 	if store.Len(1) != 2 || store.Len(2) != 1 {
 		t.Fatalf("merge produced lens %d,%d", store.Len(1), store.Len(2))
@@ -270,7 +270,7 @@ func TestMergeUpdatesValidation(t *testing.T) {
 }
 
 // reserveAddr grabs an ephemeral loopback port for the TCP rendezvous.
-func reserveAddr(t *testing.T) string {
+func reserveAddr(t testing.TB) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -294,7 +294,7 @@ func TestPerRoundAccounting(t *testing.T) {
 		if len(s.Rounds) != s.Syncs || s.Syncs != 3 {
 			t.Fatalf("node %d: %d round entries for %d syncs", node, len(s.Rounds), s.Syncs)
 		}
-		var sent, recv, sentUpd int64
+		var sent, recv, rawSent, rawRecv int64
 		for i, r := range s.Rounds {
 			if r.BytesSent == 0 || r.UpdatesSent == 0 {
 				t.Errorf("node %d round %d: zero sent volume (%+v)", node, i, r)
@@ -302,16 +302,28 @@ func TestPerRoundAccounting(t *testing.T) {
 			if r.BytesReceived == 0 || r.UpdatesReceived == 0 {
 				t.Errorf("node %d round %d: zero received volume (%+v)", node, i, r)
 			}
-			if r.BytesSent != r.UpdatesSent*bytesPerUpdate {
-				t.Errorf("node %d round %d: %d bytes for %d updates", node, i, r.BytesSent, r.UpdatesSent)
+			if r.RawBytesSent != r.UpdatesSent*bytesPerUpdate {
+				t.Errorf("node %d round %d: %d raw bytes for %d updates", node, i, r.RawBytesSent, r.UpdatesSent)
+			}
+			if r.RawBytesReceived != r.UpdatesReceived*bytesPerUpdate {
+				t.Errorf("node %d round %d: %d raw recv bytes for %d updates", node, i, r.RawBytesReceived, r.UpdatesReceived)
+			}
+			if r.BytesSent > r.RawBytesSent {
+				t.Errorf("node %d round %d: compressed frame (%d B) larger than raw (%d B)",
+					node, i, r.BytesSent, r.RawBytesSent)
 			}
 			sent += r.BytesSent
 			recv += r.BytesReceived
-			sentUpd += r.UpdatesSent
+			rawSent += r.RawBytesSent
+			rawRecv += r.RawBytesReceived
 		}
 		if sent != s.BytesSent || recv != s.BytesReceived {
 			t.Errorf("node %d: rounds sum to %d/%d bytes, totals are %d/%d",
 				node, sent, recv, s.BytesSent, s.BytesReceived)
+		}
+		if rawSent != s.RawBytesSent || rawRecv != s.RawBytesReceived {
+			t.Errorf("node %d: rounds sum to %d/%d raw bytes, totals are %d/%d",
+				node, rawSent, rawRecv, s.RawBytesSent, s.RawBytesReceived)
 		}
 	}
 	// Every node's labels crossed the wire: the union of sent updates

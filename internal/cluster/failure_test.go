@@ -102,8 +102,8 @@ func TestTCPNodeDeathFailsFast(t *testing.T) {
 func TestCorruptSyncPayloadRejected(t *testing.T) {
 	store := label.NewStore(8)
 	before := store.TotalEntries()
-	if err := mergeUpdates(store, []byte{0xde, 0xad, 0xbe}, 8); err == nil {
-		t.Fatal("misaligned frame accepted")
+	if _, err := mergeFrame(store, []byte{0xde, 0xad, 0xbe}, 8, 2); err == nil {
+		t.Fatal("garbage frame accepted")
 	}
 	if store.TotalEntries() != before {
 		t.Fatal("rejected frame still modified the store")

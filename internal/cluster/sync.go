@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/mpi"
+)
+
+// Sync wire format (version 1). A frame carries one node's
+// pending-update list for one round, sorted by (vertex, hub) and
+// delta-encoded with uvarints — the same idiom as the compact on-disk
+// index format (label.WriteCompact), applied to the inter-node wire:
+//
+//	byte    version (1)
+//	uvarint total update count U
+//	then groups, vertices strictly ascending:
+//	  uvarint vGap   = v - prevV - 1        (prevV starts at -1)
+//	  uvarint count  (>= 1 entries in this group)
+//	  count entries, hubs strictly ascending within the group:
+//	    uvarint hubGap = hub - prevHub - 1  (prevHub resets to -1 per group)
+//	    uvarint dist                        (must be < graph.Inf)
+//
+// Sorting makes consecutive updates share a vertex, so the gaps are
+// small (1–2 bytes each vs. the old fixed 12 bytes per update) and the
+// receiving side's BulkAppend grouping actually amortizes: one lock
+// acquisition per (vertex, round) instead of per label.
+//
+// (v, hub) pairs are unique within a node's whole build — each root is
+// processed exactly once — so both delta chains are strictly increasing.
+const syncFormatVersion = 1
+
+// bytesPerUpdate is the pre-compression wire cost of one update (the
+// old fixed-width format: three uint32s). Raw-byte accounting in
+// RoundStats is reported in this unit so compression is observable.
+const bytesPerUpdate = 12
+
+// sortUpdates orders a pending list by (vertex, hub), the precondition
+// for packUpdates' delta encoding.
+func sortUpdates(list []update) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v < list[j].v
+		}
+		return list[i].hub < list[j].hub
+	})
+}
+
+// packUpdates encodes a sorted pending list into dst[:0] and returns
+// the frame. dst is a per-node scratch buffer reused across rounds so
+// the varint append never reallocates after the first round; callers
+// must copy the result before handing it to a transport (transports own
+// sent buffers — the channel transport delivers them zero-copy).
+func packUpdates(dst []byte, list []update) []byte {
+	buf := append(dst[:0], syncFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(list)))
+	prevV := int64(-1)
+	for i := 0; i < len(list); {
+		j := i
+		for j < len(list) && list[j].v == list[i].v {
+			j++
+		}
+		v := int64(list[i].v)
+		buf = binary.AppendUvarint(buf, uint64(v-prevV-1))
+		buf = binary.AppendUvarint(buf, uint64(j-i))
+		prevV = v
+		prevHub := int64(-1)
+		for ; i < j; i++ {
+			hub := int64(list[i].hub)
+			buf = binary.AppendUvarint(buf, uint64(hub-prevHub-1))
+			buf = binary.AppendUvarint(buf, uint64(list[i].d))
+			prevHub = hub
+		}
+	}
+	return buf
+}
+
+// decodeFrame validates and decodes one sync frame from a peer for an
+// n-vertex graph. Every structural invariant is checked — truncation,
+// version, vertex/hub ranges, group counts, trailing bytes — and every
+// distance must be < graph.Inf: a corrupt or hostile frame must never
+// inject the unreachable sentinel (or an overflowing value) into
+// AddDist arithmetic. The returned list is sorted by (v, hub) by
+// construction.
+func decodeFrame(buf []byte, n int) ([]update, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("cluster: sync frame truncated (%d bytes)", len(buf))
+	}
+	if buf[0] != syncFormatVersion {
+		return nil, fmt.Errorf("cluster: unknown sync frame version %d", buf[0])
+	}
+	o := 1
+	total, k := binary.Uvarint(buf[o:])
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: sync frame: bad update count")
+	}
+	o += k
+	// Each update costs at least 2 encoded bytes, so a count claiming
+	// more is corrupt — and this bounds the allocation below.
+	if total > uint64(len(buf))/2 {
+		return nil, fmt.Errorf("cluster: sync frame claims %d updates in %d bytes", total, len(buf))
+	}
+	out := make([]update, 0, total)
+	prevV := int64(-1)
+	for uint64(len(out)) < total {
+		vGap, k := binary.Uvarint(buf[o:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cluster: sync frame truncated in vertex gap")
+		}
+		o += k
+		if vGap >= uint64(n) {
+			return nil, fmt.Errorf("cluster: sync update vertex out of range (gap %d)", vGap)
+		}
+		v := prevV + 1 + int64(vGap)
+		if v >= int64(n) {
+			return nil, fmt.Errorf("cluster: sync update vertex %d out of range [0,%d)", v, n)
+		}
+		count, k := binary.Uvarint(buf[o:])
+		if k <= 0 {
+			return nil, fmt.Errorf("cluster: sync frame truncated in group count")
+		}
+		o += k
+		if count == 0 || count > total-uint64(len(out)) {
+			return nil, fmt.Errorf("cluster: sync frame group count %d inconsistent with total %d", count, total)
+		}
+		prevHub := int64(-1)
+		for i := uint64(0); i < count; i++ {
+			hubGap, k := binary.Uvarint(buf[o:])
+			if k <= 0 {
+				return nil, fmt.Errorf("cluster: sync frame truncated in hub gap")
+			}
+			o += k
+			if hubGap >= uint64(n) {
+				return nil, fmt.Errorf("cluster: sync update hub out of range (gap %d)", hubGap)
+			}
+			hub := prevHub + 1 + int64(hubGap)
+			if hub >= int64(n) {
+				return nil, fmt.Errorf("cluster: sync update hub %d out of range [0,%d)", hub, n)
+			}
+			prevHub = hub
+			d, k := binary.Uvarint(buf[o:])
+			if k <= 0 {
+				return nil, fmt.Errorf("cluster: sync frame truncated in distance")
+			}
+			o += k
+			if d >= uint64(graph.Inf) {
+				return nil, fmt.Errorf("cluster: sync update distance %d >= Inf", d)
+			}
+			out = append(out, update{v: graph.Vertex(v), hub: graph.Vertex(hub), d: graph.Dist(d)})
+		}
+		prevV = v
+	}
+	if o != len(buf) {
+		return nil, fmt.Errorf("cluster: sync frame has %d trailing bytes", len(buf)-o)
+	}
+	return out, nil
+}
+
+// mergeShardMin is the round size below which the sharded merge falls
+// back to serial: spawning goroutines costs more than merging a few
+// hundred updates.
+const mergeShardMin = 1 << 10
+
+// mergeShards applies decoded update lists to the store with vertices
+// sharded across goroutines: shard s owns the contiguous vertex range
+// [s·n/shards, (s+1)·n/shards). Lists are sorted by vertex, so each
+// shard binary-searches straight to its subrange — no shard ever scans
+// another shard's updates — and because the ranges are disjoint, no two
+// goroutines contend on one vertex's mutex and each group still lands
+// in a single BulkAppend.
+func mergeShards(store *label.Store, lists [][]update, shards int) {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	n := store.NumVertices()
+	if shards < 1 || total < mergeShardMin {
+		shards = 1
+	}
+	if shards == 1 {
+		var scratch []label.Entry
+		for _, l := range lists {
+			scratch = mergeRange(store, l, 0, graph.Vertex(n), scratch)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			lo := graph.Vertex(s * n / shards)
+			hi := graph.Vertex((s + 1) * n / shards)
+			var scratch []label.Entry
+			for _, l := range lists {
+				scratch = mergeRange(store, l, lo, hi, scratch)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// mergeRange bulk-appends the groups of a sorted list whose vertex
+// falls in [lo, hi). scratch is reused across groups (BulkAppend copies
+// entries).
+func mergeRange(store *label.Store, list []update, lo, hi graph.Vertex, scratch []label.Entry) []label.Entry {
+	i := sort.Search(len(list), func(k int) bool { return list[k].v >= lo })
+	for i < len(list) && list[i].v < hi {
+		j := i
+		v := list[i].v
+		for j < len(list) && list[j].v == v {
+			j++
+		}
+		scratch = scratch[:0]
+		for k := i; k < j; k++ {
+			scratch = append(scratch, label.Entry{Hub: list[k].hub, D: list[k].d})
+		}
+		store.BulkAppend(v, scratch)
+		i = j
+	}
+	return scratch
+}
+
+// mergeFrame decodes one peer frame and merges it, returning how many
+// updates it carried. The direct path used by tests and by callers that
+// hold a single frame.
+func mergeFrame(store *label.Store, buf []byte, n, shards int) (int64, error) {
+	upd, err := decodeFrame(buf, n)
+	if err != nil {
+		return 0, err
+	}
+	mergeShards(store, [][]update{upd}, shards)
+	return int64(len(upd)), nil
+}
+
+// syncState drives the sync pipeline for one node: record → pack →
+// exchange → merge. Scratch buffers persist across rounds, and at most
+// one round is ever in flight (collective tags must not interleave).
+type syncState struct {
+	comm   mpi.Comm
+	n      int    // vertex count, for frame validation
+	shards int    // merge parallelism (the node's worker count)
+	take   []update // drained pending updates, reused each round
+	pack   []byte   // varint encode scratch, reused each round
+	fly    *inflightSync
+}
+
+// inflightSync is one round in flight: the allgather plus the
+// background decode+merge. done closes when the merge has finished (or
+// failed); round and err must only be read after done.
+type inflightSync struct {
+	round RoundStats
+	err   error
+	done  chan struct{}
+}
+
+// start drains the pending lists, packs them, and launches the
+// exchange+merge for one round. The previous round must have been
+// joined (wait) first. Runs on the node's main build goroutine.
+func (st *syncState) start(rs *recordingStore) {
+	st.take = rs.takePending(st.take)
+	list := st.take
+	sortUpdates(list)
+	st.pack = packUpdates(st.pack, list)
+	// The transport owns sent buffers (the channel transport delivers
+	// zero-copy), so the reusable scratch must not escape: hand it an
+	// exact-size copy.
+	frame := make([]byte, len(st.pack))
+	copy(frame, st.pack)
+
+	fly := &inflightSync{
+		round: RoundStats{
+			UpdatesSent:  int64(len(list)),
+			BytesSent:    int64(len(frame)),
+			RawBytesSent: int64(len(list)) * bytesPerUpdate,
+		},
+		done: make(chan struct{}),
+	}
+	st.fly = fly
+	req := mpi.IAllgather(st.comm, frame)
+	go st.complete(fly, req, rs.Store)
+}
+
+// complete joins the allgather, then decodes every peer frame in
+// parallel and merges them with vertex sharding. Runs on a background
+// goroutine; in overlapped mode the next segment's Pruned Dijkstras
+// execute concurrently, which is safe because label.Store appends are
+// per-vertex-locked and late labels only weaken pruning (Prop. 1).
+func (st *syncState) complete(fly *inflightSync, req *mpi.Request, store *label.Store) {
+	defer close(fly.done)
+	parts, err := req.Wait()
+	if err != nil {
+		fly.err = fmt.Errorf("cluster: sync: %w", err)
+		return
+	}
+	rank := st.comm.Rank()
+	decoded := make([][]update, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for r, p := range parts {
+		if r == rank {
+			continue
+		}
+		wg.Add(1)
+		go func(r int, p []byte) {
+			defer wg.Done()
+			upd, err := decodeFrame(p, st.n)
+			if err != nil {
+				errs[r] = fmt.Errorf("cluster: merging from rank %d: %w", r, err)
+				return
+			}
+			decoded[r] = upd
+		}(r, p)
+	}
+	wg.Wait()
+	lists := make([][]update, 0, len(parts)-1)
+	for r := range decoded {
+		if errs[r] != nil {
+			fly.err = errs[r]
+			return
+		}
+		if r == rank {
+			continue
+		}
+		fly.round.UpdatesReceived += int64(len(decoded[r]))
+		fly.round.BytesReceived += int64(len(parts[r]))
+		fly.round.RawBytesReceived += int64(len(decoded[r])) * bytesPerUpdate
+		lists = append(lists, decoded[r])
+	}
+	mergeShards(store, lists, st.shards)
+}
+
+// wait joins the in-flight round, if any, folding its accounting into
+// stats. Returns the round's error. Runs on the main build goroutine.
+func (st *syncState) wait(stats *Stats) error {
+	fly := st.fly
+	if fly == nil {
+		return nil
+	}
+	st.fly = nil
+	<-fly.done
+	if fly.err != nil {
+		return fly.err
+	}
+	stats.Rounds = append(stats.Rounds, fly.round)
+	stats.Syncs++
+	stats.BytesSent += fly.round.BytesSent
+	stats.BytesReceived += fly.round.BytesReceived
+	stats.RawBytesSent += fly.round.RawBytesSent
+	stats.RawBytesReceived += fly.round.RawBytesReceived
+	return nil
+}

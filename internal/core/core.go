@@ -54,6 +54,19 @@ type LabelStore interface {
 	Append(v, hub graph.Vertex, d graph.Dist)
 }
 
+// PerWorkerStore is an optional LabelStore extension. A store that
+// implements it is asked, once per worker goroutine, for a view private
+// to that worker; all of the worker's reads and appends then go through
+// the view. This is the seam that lets a wrapping store keep per-worker
+// side state (the cluster package's pending-update lists) with no
+// cross-worker synchronization on the append hot path. WorkerView is
+// called with 0 <= w < workers before worker w processes any root; it
+// must be safe to call concurrently for distinct w.
+type PerWorkerStore interface {
+	LabelStore
+	WorkerView(w, workers int) LabelStore
+}
+
 // Options configures a parallel build.
 type Options struct {
 	// Threads is the number of worker goroutines; <= 0 means GOMAXPROCS.
@@ -222,7 +235,9 @@ func newManager(ord []graph.Vertex, opt *Options) task.Manager {
 // until the task manager is exhausted, and returns each worker's total
 // work. trace may be nil; when set, its slices must be at least as long
 // as the largest sequence position the manager hands out. prog may be
-// nil; when set, it is updated once per completed root.
+// nil; when set, it is updated once per completed root. If store
+// implements PerWorkerStore, each worker routes its accesses through
+// its private WorkerView.
 func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.Trace, lazyHeap bool, prog *Progress) []int64 {
 	perWorker := make([]int64, mgr.Workers())
 	var wg sync.WaitGroup
@@ -230,6 +245,10 @@ func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.T
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			view := store
+			if pws, ok := store.(PerWorkerStore); ok {
+				view = pws.WorkerView(w, mgr.Workers())
+			}
 			ps := pll.NewSearcher(g, lazyHeap)
 			for {
 				r, pos, ok := mgr.Next(w)
@@ -237,8 +256,8 @@ func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.T
 					return
 				}
 				added, pruned := ps.Run(r,
-					store.Snapshot,
-					func(u graph.Vertex, e label.Entry) { store.Append(u, e.Hub, e.D) },
+					view.Snapshot,
+					func(u graph.Vertex, e label.Entry) { view.Append(u, e.Hub, e.D) },
 				)
 				perWorker[w] += ps.LastWork()
 				if trace != nil {

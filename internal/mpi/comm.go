@@ -227,6 +227,43 @@ func Allgather(c Comm, mine []byte) ([][]byte, error) {
 	return parts, nil
 }
 
+// Request is an in-flight asynchronous collective started by IAllgather.
+// Exactly one goroutine drives the collective; Wait (or Done + Result)
+// joins it. A Request must be waited on before the communicator starts
+// any other collective — the reserved collective tags carry no round
+// ids, so two interleaved collectives on one Comm would mix frames.
+type Request struct {
+	done  chan struct{}
+	parts [][]byte
+	err   error
+}
+
+// Wait blocks until the collective completes and returns its result.
+// Safe to call from a different goroutine than the one that started the
+// request, and safe to call more than once.
+func (r *Request) Wait() ([][]byte, error) {
+	<-r.done
+	return r.parts, r.err
+}
+
+// Done returns a channel closed when the collective has completed, for
+// select-based overlap. After Done is closed, Wait returns immediately.
+func (r *Request) Done() <-chan struct{} { return r.done }
+
+// IAllgather starts an allgather on a background goroutine and returns
+// immediately, letting the caller overlap computation with the
+// collective (the cluster package's overlapped label synchronization).
+// The caller must not start another collective on c, nor reuse `mine`,
+// until the request completes.
+func IAllgather(c Comm, mine []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.parts, r.err = Allgather(c, mine)
+	}()
+	return r
+}
+
 // AllreduceInt64 computes op over one int64 per rank and returns the
 // result on every rank. op must be associative and commutative.
 func AllreduceInt64(c Comm, mine int64, op func(a, b int64) int64) (int64, error) {

@@ -254,6 +254,77 @@ func TestAllgatherTCP(t *testing.T) {
 	})
 }
 
+// TestIAllgather checks the asynchronous allgather: ranks start the
+// collective, do local work while it is in flight, and join via Wait.
+// Back-to-back rounds verify that waiting fully drains the collective
+// tags, so sequential requests never mix frames.
+func TestIAllgather(t *testing.T) {
+	for _, size := range []int{1, 2, 4} {
+		comms := World(size)
+		runWorld(t, comms, func(c Comm) error {
+			for round := 0; round < 3; round++ {
+				mine := []byte(fmt.Sprintf("r%d-round%d", c.Rank(), round))
+				req := IAllgather(c, mine)
+				// Overlapped "computation": a local spin the collective
+				// must not disturb.
+				acc := 0
+				for i := 0; i < 1000; i++ {
+					acc += i
+				}
+				_ = acc
+				parts, err := req.Wait()
+				if err != nil {
+					return err
+				}
+				// Wait is idempotent.
+				if again, err2 := req.Wait(); err2 != nil || len(again) != len(parts) {
+					return fmt.Errorf("second Wait diverged: %v", err2)
+				}
+				select {
+				case <-req.Done():
+				default:
+					return fmt.Errorf("Done not closed after Wait")
+				}
+				for r, p := range parts {
+					if want := fmt.Sprintf("r%d-round%d", r, round); string(p) != want {
+						return fmt.Errorf("round %d part %d = %q, want %q", round, r, p, want)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestIAllgatherTCP(t *testing.T) {
+	comms := tcpWorld(t, 3)
+	runWorld(t, comms, func(c Comm) error {
+		req := IAllgather(c, []byte{byte(c.Rank() + 1)})
+		parts, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		for r, p := range parts {
+			if len(p) != 1 || p[0] != byte(r+1) {
+				return fmt.Errorf("part %d = %v", r, p)
+			}
+		}
+		return nil
+	})
+}
+
+// TestIAllgatherErrorPropagates: closing the world mid-collective must
+// surface an error through Wait, not hang.
+func TestIAllgatherErrorPropagates(t *testing.T) {
+	comms := World(3)
+	// Only rank 0 participates; the world closes underneath it.
+	req := IAllgather(comms[0], []byte("x"))
+	comms[1].Close()
+	if _, err := req.Wait(); err == nil {
+		t.Fatal("no error from allgather on closed world")
+	}
+}
+
 func TestAllreduceInt64(t *testing.T) {
 	comms := World(6)
 	runWorld(t, comms, func(c Comm) error {

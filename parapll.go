@@ -219,6 +219,11 @@ type ClusterOptions struct {
 	// SyncCount is how many label synchronizations happen across the run
 	// (the paper's c; 1 — sync once at the end — is fastest).
 	SyncCount int
+	// Overlap overlaps each synchronization's exchange and merge with
+	// the next segment's computation. Queries stay exact (late labels
+	// only weaken pruning), at the cost of somewhat more redundant
+	// labels. Every rank must pass the same value.
+	Overlap bool
 }
 
 // BuildCluster runs this process's share of a distributed indexing job.
@@ -231,6 +236,7 @@ func BuildCluster(g *Graph, comm Comm, opt ClusterOptions) (*Index, error) {
 		Policy:    opt.Policy,
 		Order:     computeOrder(g, opt.Order, opt.Seed),
 		SyncCount: opt.SyncCount,
+		Overlap:   opt.Overlap,
 	})
 	return idx, err
 }
@@ -248,6 +254,7 @@ func RunLocalCluster(g *Graph, nodes int, opt ClusterOptions) (*Index, error) {
 		Policy:    opt.Policy,
 		Order:     computeOrder(g, opt.Order, opt.Seed),
 		SyncCount: opt.SyncCount,
+		Overlap:   opt.Overlap,
 	})
 	if err != nil {
 		return nil, err

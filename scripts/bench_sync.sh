@@ -1,0 +1,31 @@
+#!/bin/sh
+# Sync-pipeline benchmark: blocking vs overlapped cluster builds with
+# per-round wire/raw byte accounting, on fixed seeds (the synthetic
+# dataset generators are fully deterministic, so runs are comparable
+# across machines and commits). Writes BENCH_sync.json at the repo root
+# plus a human-readable table to stdout.
+#
+# Usage:
+#   scripts/bench_sync.sh                 # default smoke scale
+#   SCALE=0.05 scripts/bench_sync.sh      # bigger graphs
+#   OUT=results/BENCH_sync.json scripts/bench_sync.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.02}"
+OUT="${OUT:-BENCH_sync.json}"
+DATASETS="${DATASETS:-Wiki-Vote,Gnutella,Epinions}"
+SYNCS="${SYNCS:-1,4,16}"
+NODES="${NODES:-3}"
+THREADS_PER_NODE="${THREADS_PER_NODE:-2}"
+
+go run ./cmd/parapll-bench \
+    -exp sync \
+    -scale "$SCALE" \
+    -datasets "$DATASETS" \
+    -syncs "$SYNCS" \
+    -fig7nodes "$NODES" \
+    -threads-per-node "$THREADS_PER_NODE" \
+    -json "$OUT"
+
+echo "sync benchmark records -> $OUT"

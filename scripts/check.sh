@@ -18,4 +18,11 @@ go test -race -short ./...
 echo "== go test ./... (tier-1)"
 go test ./...
 
+# Opt-in: sync-pipeline benchmark (writes BENCH_sync.json). Slowish, so
+# off by default; enable with SYNC_BENCH=1 scripts/check.sh
+if [ "${SYNC_BENCH:-0}" = "1" ]; then
+    echo "== scripts/bench_sync.sh"
+    scripts/bench_sync.sh
+fi
+
 echo "all checks passed"
