@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,all")
+		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,load,all")
 		scale    = flag.Float64("scale", 0.02, "dataset scale in (0,1]; 1.0 = paper-scale (slow!)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 		threads  = flag.String("threads", "1,2,4,6,8,10,12", "thread sweep for tables 3-4")
@@ -30,7 +31,7 @@ func main() {
 		fig7n    = flag.Int("fig7nodes", 6, "cluster size for figure 7")
 		perNode  = flag.Int("threads-per-node", 2, "threads per simulated cluster node")
 		csvPath  = flag.String("csv", "", "also write results as CSV to this file")
-		jsonPath = flag.String("json", "", "write the sync experiment's raw records as JSON to this file")
+		jsonPath = flag.String("json", "", "write the sync/load experiments' raw records as JSON to this file")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		run  func() (*bench.Table, error)
 	}
 	var syncResults []bench.SyncResult
+	var loadResults []bench.LoadResult
 	all := []runner{
 		{"table3", func() (*bench.Table, error) { return bench.RunTable3(cfg) }},
 		{"table4", func() (*bench.Table, error) { return bench.RunTable4(cfg) }},
@@ -69,6 +71,14 @@ func main() {
 				return nil, err
 			}
 			syncResults = append(syncResults, results...)
+			return table, nil
+		}},
+		{"load", func() (*bench.Table, error) {
+			table, results, err := bench.RunLoad(cfg)
+			if err != nil {
+				return nil, err
+			}
+			loadResults = append(loadResults, results...)
 			return table, nil
 		}},
 	}
@@ -111,15 +121,31 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if len(syncResults) == 0 {
-			fatalf("-json requires the sync experiment (-exp sync or -exp all)")
+		if len(syncResults) == 0 && len(loadResults) == 0 {
+			fatalf("-json requires the sync or load experiment (-exp sync, -exp load or -exp all)")
 		}
 		jf, err := os.Create(*jsonPath)
 		if err != nil {
 			fatalf("creating %s: %v", *jsonPath, err)
 		}
 		defer jf.Close()
-		if err := bench.WriteSyncJSON(jf, syncResults); err != nil {
+		// Sync-only runs keep the legacy BENCH_sync.json shape (a bare
+		// array) so existing tooling keeps parsing; anything involving
+		// load results gets a keyed object.
+		switch {
+		case len(loadResults) == 0:
+			err = bench.WriteSyncJSON(jf, syncResults)
+		case len(syncResults) == 0:
+			err = bench.WriteLoadJSON(jf, loadResults)
+		default:
+			enc := json.NewEncoder(jf)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(map[string]any{
+				"sync": syncResults,
+				"load": loadResults,
+			})
+		}
+		if err != nil {
 			fatalf("json: %v", err)
 		}
 	}

@@ -6,6 +6,7 @@
 //
 //	parapll-index -graph data/skitter.bin -out skitter.idx -threads 12 -policy dynamic
 //	parapll-index -graph g.txt -out g.idx -serial
+//	parapll-index -graph g.bin -out g.idx -format mmap    # zero-copy serving format
 package main
 
 import (
@@ -26,10 +27,16 @@ func main() {
 		ordering  = flag.String("order", "degree", "computing sequence: degree, psi or random")
 		seed      = flag.Uint64("seed", 0, "seed for psi/random ordering")
 		serial    = flag.Bool("serial", false, "use the serial weighted PLL baseline")
+		format    = flag.String("format", "auto", "index file format: fixed, compact, mmap, or auto (by -out extension)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
 		fatalf("need -graph and -out")
+	}
+	switch *format {
+	case "auto", parapll.FormatFixed, parapll.FormatCompact, parapll.FormatMmap:
+	default:
+		fatalf("unknown format %q (want fixed, compact, mmap or auto)", *format)
 	}
 
 	g, err := parapll.LoadGraph(*graphPath)
@@ -65,7 +72,12 @@ func main() {
 	}
 	elapsed := time.Since(t0)
 
-	if err := parapll.SaveIndex(*out, idx); err != nil {
+	if *format == "auto" {
+		err = parapll.SaveIndex(*out, idx)
+	} else {
+		err = parapll.SaveIndexAs(*out, idx, *format)
+	}
+	if err != nil {
 		fatalf("saving index: %v", err)
 	}
 	fmt.Printf("indexed n=%d m=%d in %.2fs  (entries=%d, avg label size LN=%.1f) -> %s\n",

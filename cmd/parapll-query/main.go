@@ -46,12 +46,16 @@ func main() {
 	if *indexPath == "" {
 		fatalf("need -index")
 	}
-	idx, err := parapll.LoadIndex(*indexPath)
+	loaded, err := parapll.LoadIndex(*indexPath)
 	if err != nil {
 		fatalf("loading index: %v", err)
 	}
+	// Everything below queries through the Oracle interface — the code
+	// is identical whether the index is heap-decoded or mmap-backed.
+	var idx parapll.Oracle = loaded
 	n := idx.NumVertices()
-	fmt.Printf("index: n=%d entries=%d LN=%.1f\n", n, idx.NumEntries(), idx.AvgLabelSize())
+	fmt.Printf("index: n=%d entries=%d LN=%.1f format=%s mmap=%v\n",
+		n, loaded.NumEntries(), loaded.AvgLabelSize(), loaded.Format(), loaded.Mapped())
 
 	for _, p := range pairs {
 		if int(p[0]) >= n || int(p[1]) >= n || p[0] < 0 || p[1] < 0 {

@@ -2,15 +2,24 @@
 // queries, batches, optional path reconstruction, stats, and the
 // observability endpoints /metrics and /healthz.
 //
+// The listener comes up immediately; the index loads (or builds) in the
+// background and is published atomically when ready. Until then /readyz
+// answers 503 and query endpoints answer 503 "index is still loading",
+// so orchestrators can distinguish "starting" from "broken". A running
+// server hot-swaps its index without dropping queries via POST /reload
+// (optionally {"path": "other.idx"}) or SIGHUP.
+//
 // Usage:
 //
 //	parapll-server -index g.idx -addr :8080
+//	parapll-server -index g.midx -addr :8080           # mmap: O(1) open
 //	parapll-server -graph g.bin -addr :8080            # index on startup
 //	parapll-server -graph g.bin -paths -addr :8080     # also serve /path
 //	parapll-server -index g.idx -pprof -addr :8080     # + /debug/pprof/
 //
 // Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=
-// GET /knn?s=&k=   GET /stats   GET /metrics   GET /healthz
+// GET /knn?s=&k=   GET /stats   POST /reload   GET /readyz
+// GET /metrics   GET /healthz
 // and, with -pprof, the standard net/http/pprof handlers under
 // /debug/pprof/ (opt-in: profiling endpoints leak internals and cost
 // CPU, so they stay off unless asked for).
@@ -22,11 +31,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"parapll"
 	"parapll/internal/core"
 	"parapll/internal/fileio"
+	"parapll/internal/label"
+	"parapll/internal/metrics"
 	"parapll/internal/pathidx"
 	"parapll/internal/server"
 )
@@ -41,45 +54,44 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-
-	var idx *parapll.Index
-	var err error
-	switch {
-	case *indexPath != "":
-		idx, err = fileio.LoadIndex(*indexPath)
-		if err != nil {
-			fatalf("loading index: %v", err)
-		}
-	case *graphPath != "":
-		g, err := parapll.LoadGraph(*graphPath)
-		if err != nil {
-			fatalf("loading graph: %v", err)
-		}
-		t0 := time.Now()
-		prog := &parapll.BuildProgress{}
-		stopLog := logProgress(prog)
-		idx = parapll.Build(g, parapll.Options{Threads: *threads, Policy: parapll.Dynamic, Progress: prog})
-		stopLog()
-		fmt.Printf("indexed %d vertices in %.2fs\n", g.NumVertices(), time.Since(t0).Seconds())
-	default:
+	if *indexPath == "" && *graphPath == "" {
 		fatalf("need -index or -graph")
 	}
-
-	var pidx *pathidx.Index
-	if *paths {
-		if *graphPath == "" {
-			fatalf("-paths needs -graph")
-		}
-		g, err := parapll.LoadGraph(*graphPath)
-		if err != nil {
-			fatalf("loading graph: %v", err)
-		}
-		t0 := time.Now()
-		pidx = pathidx.Build(g, pathidx.Options{Threads: *threads, Policy: core.Dynamic})
-		fmt.Printf("path index built in %.2fs\n", time.Since(t0).Seconds())
+	if *paths && *graphPath == "" {
+		fatalf("-paths needs -graph")
 	}
 
-	srv := server.New(idx, pidx)
+	srv := server.NewPending(metrics.NewRegistry())
+	srv.SetLoader(func(path string) (*label.Index, *pathidx.Index, error) {
+		idx, err := fileio.LoadIndex(path)
+		return idx, nil, err // nil pidx: a reload keeps the current path index
+	})
+
+	// Load or build off-thread so the listener (and /readyz, /healthz,
+	// /metrics) is up from the first moment.
+	go func() {
+		idx, pidx, source := prepare(*indexPath, *graphPath, *paths, *threads)
+		gen := srv.Publish(idx, pidx, source)
+		fmt.Printf("ready: generation %d  (n=%d, entries=%d, LN=%.1f, format=%s, mmap=%v, paths=%v)\n",
+			gen, idx.NumVertices(), idx.NumEntries(), idx.AvgLabelSize(),
+			idx.Format(), idx.Mapped(), pidx != nil)
+	}()
+
+	// SIGHUP re-reads the current index file and swaps it in atomically —
+	// the classic "rotate the artifact, nudge the daemon" flow.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			gen, err := srv.Reload("")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parapll-server: SIGHUP reload: %v\n", err)
+				continue
+			}
+			fmt.Printf("SIGHUP reload: now at generation %d\n", gen)
+		}
+	}()
+
 	handler := http.Handler(srv)
 	if *pprofOn {
 		mux := http.NewServeMux()
@@ -92,11 +104,53 @@ func main() {
 		handler = mux
 	}
 
-	fmt.Printf("serving on http://%s  (n=%d, entries=%d, LN=%.1f, paths=%v, pprof=%v)\n",
-		*addr, idx.NumVertices(), idx.NumEntries(), idx.AvgLabelSize(), pidx != nil, *pprofOn)
+	fmt.Printf("listening on http://%s  (pprof=%v); index loading in background, poll /readyz\n",
+		*addr, *pprofOn)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatalf("%v", err)
 	}
+}
+
+// prepare loads or builds the serving artifacts. It runs off the main
+// goroutine; failures are fatal because the server cannot become ready
+// without an index.
+func prepare(indexPath, graphPath string, paths bool, threads int) (*parapll.Index, *pathidx.Index, string) {
+	var idx *parapll.Index
+	var err error
+	source := indexPath
+	if indexPath != "" {
+		t0 := time.Now()
+		idx, err = fileio.LoadIndex(indexPath)
+		if err != nil {
+			fatalf("loading index: %v", err)
+		}
+		fmt.Printf("opened %s in %.1fms (format=%s, mmap=%v)\n",
+			indexPath, float64(time.Since(t0).Microseconds())/1e3, idx.Format(), idx.Mapped())
+	} else {
+		g, err := parapll.LoadGraph(graphPath)
+		if err != nil {
+			fatalf("loading graph: %v", err)
+		}
+		t0 := time.Now()
+		prog := &parapll.BuildProgress{}
+		stopLog := logProgress(prog)
+		idx = parapll.Build(g, parapll.Options{Threads: threads, Policy: parapll.Dynamic, Progress: prog})
+		stopLog()
+		fmt.Printf("indexed %d vertices in %.2fs\n", g.NumVertices(), time.Since(t0).Seconds())
+		source = graphPath
+	}
+
+	var pidx *pathidx.Index
+	if paths {
+		g, err := parapll.LoadGraph(graphPath)
+		if err != nil {
+			fatalf("loading graph: %v", err)
+		}
+		t0 := time.Now()
+		pidx = pathidx.Build(g, pathidx.Options{Threads: threads, Policy: core.Dynamic})
+		fmt.Printf("path index built in %.2fs\n", time.Since(t0).Seconds())
+	}
+	return idx, pidx, source
 }
 
 // logProgress samples prog every 2s and prints a one-line status until

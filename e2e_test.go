@@ -63,7 +63,16 @@ func TestEndToEndCLI(t *testing.T) {
 		t.Fatalf("verify output unexpected: %s", out)
 	}
 
-	// The HTTP query service over the same index.
+	// An mmap-native copy of the same index, for the hot-reload leg.
+	midxPath := filepath.Join(dir, "gnutella.midx")
+	out = run("parapll-index", "-graph", graphPath, "-out", midxPath, "-format", "mmap", "-threads", "2")
+	if !strings.Contains(out, "indexed") {
+		t.Fatalf("mmap index output unexpected: %s", out)
+	}
+
+	// The HTTP query service over the same index. The listener comes up
+	// before the index finishes loading, so gate on /readyz like an
+	// orchestrator would, then query.
 	if out, err := exec.Command("go", "build", "-o", bin("parapll-server"), "./cmd/parapll-server").CombinedOutput(); err != nil {
 		t.Fatalf("building parapll-server: %v\n%s", err, out)
 	}
@@ -75,22 +84,56 @@ func TestEndToEndCLI(t *testing.T) {
 		srv.Process.Kill()
 		srv.Wait()
 	}()
-	var body []byte
 	deadline := time.Now().Add(20 * time.Second)
 	for {
-		resp, err := http.Get("http://127.0.0.1:18941/query?s=0&t=5")
+		resp, err := http.Get("http://127.0.0.1:18941/readyz")
 		if err == nil {
-			body, _ = io.ReadAll(resp.Body)
+			ready := resp.StatusCode == http.StatusOK
 			resp.Body.Close()
-			break
+			if ready {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("server never came up: %v", err)
+			t.Fatalf("server never became ready: %v", err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	if !strings.Contains(string(body), `"reachable"`) {
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://127.0.0.1:18941" + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if body := get("/query?s=0&t=5"); !strings.Contains(body, `"reachable"`) {
 		t.Fatalf("server response unexpected: %s", body)
+	}
+
+	// Hot-swap to the mmap artifact without restarting, then confirm the
+	// new generation is serving it zero-copy.
+	resp, err := http.Post("http://127.0.0.1:18941/reload", "application/json",
+		strings.NewReader(`{"path":"`+midxPath+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloadBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", resp.StatusCode, reloadBody)
+	}
+	stats := get("/stats")
+	if !strings.Contains(stats, `"generation":2`) || !strings.Contains(stats, `"format":"mmap"`) {
+		t.Fatalf("stats after reload unexpected: %s", stats)
+	}
+	if body := get("/query?s=0&t=5"); !strings.Contains(body, `"reachable"`) {
+		t.Fatalf("post-reload response unexpected: %s", body)
 	}
 
 	// Bonus: a real 2-process TCP cluster via the self-launching node.

@@ -162,6 +162,46 @@ func (x *Index) Query(s, t graph.Vertex) graph.Dist {
 	return best
 }
 
+// QueryWithHub is Query but also reports the meeting hub achieving the
+// minimum; hub is -1 when t is unreachable from s, and (0, s) is
+// returned for s == t.
+func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	if s == t {
+		return 0, s
+	}
+	a := x.out[s]
+	b := x.in[t]
+	best := graph.Inf
+	hub := graph.Vertex(-1)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Hub < b[j].Hub:
+			i++
+		case a[i].Hub > b[j].Hub:
+			j++
+		default:
+			if d := graph.AddDist(a[i].D, b[j].D); d < best {
+				best = d
+				hub = a[i].Hub
+			}
+			i++
+			j++
+		}
+	}
+	return best, hub
+}
+
+// QueryBatch answers many directed (s,t) pairs in parallel (threads <= 0
+// means GOMAXPROCS). The index is immutable, so no synchronization is
+// needed.
+func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
+	return graph.BatchQuery(x.Query, pairs, threads)
+}
+
+// NumVertices returns the number of labeled vertices.
+func (x *Index) NumVertices() int { return len(x.in) }
+
 // NumEntries returns the total number of in+out label entries.
 func (x *Index) NumEntries() int64 {
 	var total int64

@@ -121,6 +121,43 @@ func (x *Index) Query(s, t graph.Vertex) graph.Dist {
 	return best
 }
 
+// QueryWithHub is Query but also reports the meeting hub achieving the
+// minimum; hub is -1 for disconnected pairs, and (0, s) is returned
+// for s == t.
+func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	if s == t {
+		return 0, s
+	}
+	a, b := x.lists[s], x.lists[t]
+	best := graph.Inf
+	hub := graph.Vertex(-1)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Hub < b[j].Hub:
+			i++
+		case a[i].Hub > b[j].Hub:
+			j++
+		default:
+			if d := graph.AddDist(a[i].D, b[j].D); d < best {
+				best = d
+				hub = a[i].Hub
+			}
+			i++
+			j++
+		}
+	}
+	return best, hub
+}
+
+// QueryBatch answers many (s,t) pairs in parallel (threads <= 0 means
+// GOMAXPROCS). Queries only read the label lists, so a batch is safe as
+// long as no InsertEdge runs concurrently — the same single-writer
+// contract as Query itself.
+func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
+	return graph.BatchQuery(x.Query, pairs, threads)
+}
+
 // InsertEdge adds the undirected edge {u,v} with weight w and repairs
 // the index. Inserting a parallel edge no lighter than an existing one
 // is a no-op for distances but still recorded in the overlay. Self

@@ -63,7 +63,7 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(x, y) {
+	if !x.Equal(y) {
 		t.Fatal("index round trip changed index")
 	}
 }
@@ -84,7 +84,7 @@ func TestCompactIndexExtension(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(x, y) {
+	if !x.Equal(y) {
 		t.Fatal("compact extension round trip changed index")
 	}
 	fi, _ := os.Stat(fixed)
@@ -92,15 +92,20 @@ func TestCompactIndexExtension(t *testing.T) {
 	if ci.Size() >= fi.Size() {
 		t.Fatalf("compact file %d bytes >= fixed %d bytes", ci.Size(), fi.Size())
 	}
-	// Loading a fixed-format file through the .cidx path must fail, not
-	// silently misparse.
-	bad := filepath.Join(dir, "renamed.cidx")
+	// Loading dispatches on content, not extension: a fixed-format file
+	// renamed to .cidx must load transparently (the pre-ReadAny format
+	// gap), not misparse.
+	renamed := filepath.Join(dir, "renamed.cidx")
 	data, _ := os.ReadFile(fixed)
-	if err := os.WriteFile(bad, data, 0o644); err != nil {
+	if err := os.WriteFile(renamed, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadIndex(bad); err == nil {
-		t.Fatal("fixed payload accepted as compact")
+	z, err := LoadIndex(renamed)
+	if err != nil {
+		t.Fatalf("fixed payload under .cidx: %v", err)
+	}
+	if !x.Equal(z) {
+		t.Fatal("fixed payload under .cidx loaded wrong")
 	}
 }
 

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchQuery fans a batch of (s,t) pairs out over `threads` goroutines
+// (<= 0 means GOMAXPROCS), calling query for each pair. It is the
+// shared engine behind every index type's QueryBatch: the query
+// function must be safe for concurrent use (all finalized indexes are;
+// mutable ones must not be modified while a batch runs).
+func BatchQuery(query func(s, t Vertex) Dist, pairs [][2]Vertex, threads int) []Dist {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(pairs) {
+		threads = len(pairs)
+	}
+	out := make([]Dist, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = query(pairs[i][0], pairs[i][1])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

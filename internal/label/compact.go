@@ -88,7 +88,7 @@ func ReadCompact(r io.Reader) (*Index, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("label: corrupt vertex count")
 	}
-	x := &Index{off: make([]int64, n+1)}
+	x := &Index{off: make([]int64, n+1), format: FormatCompact}
 	for v := 0; v < n; v++ {
 		count, err := binary.ReadUvarint(tr)
 		if err != nil {

@@ -3,7 +3,6 @@ package label
 import (
 	"bytes"
 	"math/rand"
-	"reflect"
 	"testing"
 
 	"parapll/internal/graph"
@@ -47,7 +46,7 @@ func TestCompactRoundTrip(t *testing.T) {
 				}
 				return
 			}
-			if !reflect.DeepEqual(tc.x, y) {
+			if !tc.x.Equal(y) {
 				t.Fatal("compact round trip changed index")
 			}
 		})

@@ -2,8 +2,8 @@ package label
 
 import (
 	"runtime"
+	"slices"
 	"sort"
-	"sync"
 
 	"parapll/internal/graph"
 )
@@ -13,10 +13,47 @@ import (
 // distance query is a single merge-intersection of two sorted runs —
 // exactly the paper's QUERY(s,t,L) = min over common hubs u of
 // σ(P(u,s)) + σ(P(u,t)).
+//
+// The arrays either live on the heap (built or stream-decoded indexes)
+// or alias a read-only file mapping (Open); queries are identical
+// either way.
 type Index struct {
 	off   []int64        // len n+1
 	hubs  []graph.Vertex // flat, sorted by hub within each vertex run
 	dists []graph.Dist
+
+	format string   // Format* constant; "" means FormatMemory
+	mm     *mapping // non-nil when the arrays alias a file (see Open)
+}
+
+// Format reports where this index came from: FormatMemory for indexes
+// built in process, else the on-disk format it was loaded from
+// (FormatFixed, FormatCompact or FormatMmap).
+func (x *Index) Format() string {
+	if x.format == "" {
+		return FormatMemory
+	}
+	return x.format
+}
+
+// Mapped reports whether the index arrays alias a live file mapping
+// (true zero-copy — only on unix; the non-unix Open fallback and the
+// stream readers are heap-backed).
+func (x *Index) Mapped() bool { return x.mm != nil && x.mm.mapped }
+
+// Close releases the file mapping backing an Open'd index. The index
+// must not be queried afterwards; callers that cannot prove quiescence
+// (e.g. a server hot-swapping snapshots) should instead drop all
+// references and let the mapping's finalizer unmap. Close on a
+// heap-backed index is a no-op.
+func (x *Index) Close() error {
+	if x.mm == nil {
+		return nil
+	}
+	mm := x.mm
+	x.mm = nil
+	runtime.SetFinalizer(mm, nil)
+	return mm.close()
 }
 
 // NewIndex finalizes a Store into an Index: every label list is sorted by
@@ -75,6 +112,16 @@ func fromLists(lists [][]Entry) *Index {
 		}
 	}
 	return idx
+}
+
+// Equal reports whether two indexes hold identical label data
+// (offsets, hubs and distances), regardless of storage backing (heap or
+// mmap) and origin format. This is the invariant the cross-format
+// round-trip tests assert.
+func (x *Index) Equal(y *Index) bool {
+	return slices.Equal(x.off, y.off) &&
+		slices.Equal(x.hubs, y.hubs) &&
+		slices.Equal(x.dists, y.dists)
 }
 
 // NumVertices returns the number of labeled vertices.
@@ -176,37 +223,7 @@ func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
 // distance jobs (closeness ranking, distance matrices) are the common
 // production query shape.
 func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > len(pairs) {
-		threads = len(pairs)
-	}
-	out := make([]graph.Dist, len(pairs))
-	if len(pairs) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + threads - 1) / threads
-	for w := 0; w < threads; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = x.Query(pairs[i][0], pairs[i][1])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return graph.BatchQuery(x.Query, pairs, threads)
 }
 
 // Remap translates an index built in a relabeled id space back to the

@@ -78,9 +78,10 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("label: corrupt header (n=%d, total=%d)", n, total)
 	}
 	x := &Index{
-		off:   make([]int64, n+1),
-		hubs:  make([]graph.Vertex, total),
-		dists: make([]graph.Dist, total),
+		off:    make([]int64, n+1),
+		hubs:   make([]graph.Vertex, total),
+		dists:  make([]graph.Dist, total),
+		format: FormatFixed,
 	}
 	var buf [8]byte
 	for i := range x.off {

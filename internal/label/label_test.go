@@ -255,7 +255,7 @@ func TestIndexIORoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(x, y) {
+	if !x.Equal(y) {
 		t.Fatal("index IO round trip changed index")
 	}
 }

@@ -1,0 +1,372 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"runtime"
+	"unsafe"
+
+	"parapll/internal/graph"
+)
+
+// Mmap-native on-disk index format ("PIDM"): the three arrays of Index
+// (off, hubs, dists) laid out verbatim, little-endian, each in its own
+// 64-byte-aligned section, behind a fixed 64-byte header. Opening the
+// file is O(1): validate the header, map the file, and alias the
+// sections in place — no per-entry decode, no second copy of the index
+// in memory. The label array IS the product artifact; the file IS the
+// serving state.
+//
+// Layout (all integers little-endian):
+//
+//	[0:4)    magic "PIDM"
+//	[4:8)    version (1)
+//	[8:16)   n       — vertex count
+//	[16:24)  total   — entry count
+//	[24:32)  byte offset of the off   section ((n+1) × int64)
+//	[32:40)  byte offset of the hubs  section (total × int32)
+//	[40:48)  byte offset of the dists section (total × uint32)
+//	[48:52)  CRC32 (IEEE) of the off section
+//	[52:56)  CRC32 of the hubs section
+//	[56:60)  CRC32 of the dists section
+//	[60:64)  CRC32 of header bytes [0:60)
+//
+// Sections follow in order, each padded to a 64-byte boundary
+// (cache-line, and divides the page size, so section starts stay
+// aligned for any element type). The file ends exactly at the end of
+// the dists section.
+//
+// Open validates the header checksum and the structural invariants but
+// deliberately does NOT re-checksum the sections — that would page in
+// the whole file and make open time O(bytes), defeating the point.
+// Verify does the full check on demand; the stream reader used by
+// ReadAny always verifies (it has read every byte anyway).
+
+const (
+	mmapMagic      = "PIDM"
+	mmapVersion    = 1
+	mmapHeaderSize = 64
+	mmapAlign      = 64
+
+	// maxMmapEntries bounds the entry count so section arithmetic can
+	// never overflow uint64 (and a corrupt header cannot make us map
+	// absurd lengths).
+	maxMmapEntries = int64(1) << 48
+)
+
+// hostLittleEndian reports whether this machine stores integers
+// little-endian — the precondition for aliasing PIDM sections in place.
+// Big-endian hosts fall back to an eager decode of the same bytes.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func alignUp(x uint64) uint64 { return (x + mmapAlign - 1) &^ (mmapAlign - 1) }
+
+// mmapLayout returns the byte offsets of the three sections and the
+// total file size for an index with n vertices and total entries.
+func mmapLayout(n int, total int64) (offSec, hubsSec, distsSec, size uint64) {
+	offSec = mmapHeaderSize
+	hubsSec = alignUp(offSec + uint64(n+1)*8)
+	distsSec = alignUp(hubsSec + uint64(total)*4)
+	size = distsSec + uint64(total)*4
+	return
+}
+
+// mapping owns the backing bytes of an mmap-opened index: a real
+// mapping on unix, a heap buffer on the fallback platforms and the
+// stream-read path. close is idempotent; a finalizer backstops leaked
+// mappings so hot-swapped snapshots release their pages once the last
+// query referencing them is gone.
+type mapping struct {
+	data   []byte
+	mapped bool               // true = a real OS mapping (zero-copy)
+	unmap  func([]byte) error // nil for heap-backed data
+}
+
+func (m *mapping) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.unmap != nil {
+		return m.unmap(data)
+	}
+	return nil
+}
+
+// WriteMmap serializes the index in the mmap-native PIDM format. Two
+// passes: one to checksum the sections (the header precedes them in the
+// file), one to emit.
+func (x *Index) WriteMmap(w io.Writer) error {
+	n := x.NumVertices()
+	total := x.NumEntries()
+	offSec, hubsSec, distsSec, _ := mmapLayout(n, total)
+
+	crcOff := crc32.NewIEEE()
+	crcHubs := crc32.NewIEEE()
+	crcDists := crc32.NewIEEE()
+	var buf [8]byte
+	for _, o := range x.off {
+		binary.LittleEndian.PutUint64(buf[:], uint64(o))
+		crcOff.Write(buf[:8])
+	}
+	for _, h := range x.hubs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(h))
+		crcHubs.Write(buf[:4])
+	}
+	for _, d := range x.dists {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(d))
+		crcDists.Write(buf[:4])
+	}
+
+	hdr := make([]byte, mmapHeaderSize)
+	copy(hdr[0:4], mmapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], mmapVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(total))
+	binary.LittleEndian.PutUint64(hdr[24:32], offSec)
+	binary.LittleEndian.PutUint64(hdr[32:40], hubsSec)
+	binary.LittleEndian.PutUint64(hdr[40:48], distsSec)
+	binary.LittleEndian.PutUint32(hdr[48:52], crcOff.Sum32())
+	binary.LittleEndian.PutUint32(hdr[52:56], crcHubs.Sum32())
+	binary.LittleEndian.PutUint32(hdr[56:60], crcDists.Sum32())
+	binary.LittleEndian.PutUint32(hdr[60:64], crc32.ChecksumIEEE(hdr[0:60]))
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	for _, o := range x.off {
+		binary.LittleEndian.PutUint64(buf[:], uint64(o))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	if err := writePad(bw, hubsSec-(offSec+uint64(n+1)*8)); err != nil {
+		return err
+	}
+	for _, h := range x.hubs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(h))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	if err := writePad(bw, distsSec-(hubsSec+uint64(total)*4)); err != nil {
+		return err
+	}
+	for _, d := range x.dists {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(d))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writePad(w io.Writer, n uint64) error {
+	var zero [mmapAlign]byte
+	_, err := w.Write(zero[:n])
+	return err
+}
+
+// pidmHeader is the parsed, validated PIDM header.
+type pidmHeader struct {
+	n        int
+	total    int64
+	offSec   uint64
+	hubsSec  uint64
+	distsSec uint64
+	crcOff   uint32
+	crcHubs  uint32
+	crcDists uint32
+}
+
+// parsePIDM validates the container: magic, version, header checksum,
+// overflow-safe counts, section alignment and exact file extent. It
+// does not touch the section payloads.
+func parsePIDM(data []byte) (pidmHeader, error) {
+	var h pidmHeader
+	if len(data) < mmapHeaderSize {
+		return h, fmt.Errorf("label: pidm: truncated header (%d bytes)", len(data))
+	}
+	if string(data[0:4]) != mmapMagic {
+		return h, fmt.Errorf("label: pidm: bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != mmapVersion {
+		return h, fmt.Errorf("label: pidm: unsupported version %d", v)
+	}
+	if got, want := binary.LittleEndian.Uint32(data[60:64]), crc32.ChecksumIEEE(data[0:60]); got != want {
+		return h, fmt.Errorf("label: pidm: header checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	total := binary.LittleEndian.Uint64(data[16:24])
+	if n > math.MaxInt32 {
+		return h, fmt.Errorf("label: pidm: vertex count %d overflows", n)
+	}
+	if total > uint64(maxMmapEntries) {
+		return h, fmt.Errorf("label: pidm: entry count %d overflows", total)
+	}
+	h.n = int(n)
+	h.total = int64(total)
+	h.offSec = binary.LittleEndian.Uint64(data[24:32])
+	h.hubsSec = binary.LittleEndian.Uint64(data[32:40])
+	h.distsSec = binary.LittleEndian.Uint64(data[40:48])
+	if h.offSec%mmapAlign != 0 || h.hubsSec%mmapAlign != 0 || h.distsSec%mmapAlign != 0 {
+		return h, fmt.Errorf("label: pidm: misaligned section offset (%d/%d/%d)", h.offSec, h.hubsSec, h.distsSec)
+	}
+	wantOff, wantHubs, wantDists, wantSize := mmapLayout(h.n, h.total)
+	if h.offSec != wantOff || h.hubsSec != wantHubs || h.distsSec != wantDists {
+		return h, fmt.Errorf("label: pidm: section offsets inconsistent with counts")
+	}
+	if uint64(len(data)) != wantSize {
+		return h, fmt.Errorf("label: pidm: file is %d bytes, layout needs %d (truncated section?)", len(data), wantSize)
+	}
+	h.crcOff = binary.LittleEndian.Uint32(data[48:52])
+	h.crcHubs = binary.LittleEndian.Uint32(data[52:56])
+	h.crcDists = binary.LittleEndian.Uint32(data[56:60])
+	return h, nil
+}
+
+// checksumPIDM re-checksums the three sections against the header — the
+// O(bytes) integrity check Open skips and Verify/ReadAny perform.
+func checksumPIDM(data []byte, h pidmHeader) error {
+	check := func(name string, lo, size uint64, want uint32) error {
+		if got := crc32.ChecksumIEEE(data[lo : lo+size]); got != want {
+			return fmt.Errorf("label: pidm: %s section checksum mismatch: file %08x, computed %08x", name, want, got)
+		}
+		return nil
+	}
+	if err := check("off", h.offSec, uint64(h.n+1)*8, h.crcOff); err != nil {
+		return err
+	}
+	if err := check("hubs", h.hubsSec, uint64(h.total)*4, h.crcHubs); err != nil {
+		return err
+	}
+	return check("dists", h.distsSec, uint64(h.total)*4, h.crcDists)
+}
+
+// slicePIDM builds an Index over the validated container. On
+// little-endian hosts with a sufficiently aligned base it aliases the
+// sections in place (zero-copy); otherwise it decodes into fresh
+// slices. Either way the offset invariants are checked (O(n), touches
+// only the off section) so corrupt offsets cannot panic queries later.
+func slicePIDM(data []byte, h pidmHeader) (x *Index, aliased bool, err error) {
+	x = &Index{format: FormatMmap}
+	base := unsafe.Pointer(unsafe.SliceData(data))
+	if hostLittleEndian && uintptr(base)%8 == 0 {
+		x.off = unsafe.Slice((*int64)(unsafe.Add(base, h.offSec)), h.n+1)
+		if h.total > 0 {
+			x.hubs = unsafe.Slice((*graph.Vertex)(unsafe.Add(base, h.hubsSec)), h.total)
+			x.dists = unsafe.Slice((*graph.Dist)(unsafe.Add(base, h.distsSec)), h.total)
+		}
+		aliased = true
+	} else {
+		x.off = make([]int64, h.n+1)
+		for i := range x.off {
+			x.off[i] = int64(binary.LittleEndian.Uint64(data[h.offSec+uint64(i)*8:]))
+		}
+		x.hubs = make([]graph.Vertex, h.total)
+		x.dists = make([]graph.Dist, h.total)
+		for i := int64(0); i < h.total; i++ {
+			x.hubs[i] = graph.Vertex(binary.LittleEndian.Uint32(data[h.hubsSec+uint64(i)*4:]))
+			x.dists[i] = graph.Dist(binary.LittleEndian.Uint32(data[h.distsSec+uint64(i)*4:]))
+		}
+	}
+	if x.off[0] != 0 || x.off[h.n] != h.total {
+		return nil, false, fmt.Errorf("label: pidm: corrupt offsets")
+	}
+	for i := 0; i < h.n; i++ {
+		if x.off[i] > x.off[i+1] {
+			return nil, false, fmt.Errorf("label: pidm: offsets not monotone at %d", i)
+		}
+	}
+	return x, aliased, nil
+}
+
+// Open maps the PIDM index file at path and returns an Index whose
+// arrays alias the mapping: no per-entry decode, no heap copy, start-up
+// cost independent of index size (pages fault in on first touch). The
+// header checksum and structural invariants are validated; the section
+// checksums are NOT (that would read every byte) — call Verify for the
+// full integrity check.
+//
+// The returned Index must not be used after Close. If Close is never
+// called, a finalizer releases the mapping when the Index becomes
+// unreachable, which is what lets a server hot-swap indexes without
+// tracking when in-flight queries drain.
+func Open(path string) (*Index, error) {
+	mm, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	x, err := openMapping(mm)
+	if err != nil {
+		mm.close()
+		return nil, err
+	}
+	return x, nil
+}
+
+// openMapping validates and slices an already-materialized container,
+// transferring ownership of mm to the returned Index on success.
+func openMapping(mm *mapping) (*Index, error) {
+	h, err := parsePIDM(mm.data)
+	if err != nil {
+		return nil, err
+	}
+	x, _, err := slicePIDM(mm.data, h)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the mapping even when slicePIDM decoded a copy (big-endian
+	// host): Verify still needs the raw bytes, and close stays uniform.
+	x.mm = mm
+	runtime.SetFinalizer(mm, (*mapping).close)
+	return x, nil
+}
+
+// readPIDMStream heap-loads a PIDM file from a reader (the ReadAny
+// path). Unlike Open it has already paid for reading every byte, so it
+// also verifies the section checksums, matching the guarantees of the
+// PIDX/PIDC stream readers.
+func readPIDMStream(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	h, err := parsePIDM(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := checksumPIDM(data, h); err != nil {
+		return nil, err
+	}
+	mm := &mapping{data: data}
+	x, err := openMapping(mm)
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Verify re-checksums the section payloads of an mmap-backed index
+// against the header CRCs — the integrity check Open defers. It pages
+// in the whole file. For heap-decoded indexes (stream readers verify on
+// read; built indexes have nothing on disk) it is a no-op.
+func (x *Index) Verify() error {
+	if x.mm == nil || x.mm.data == nil {
+		return nil
+	}
+	h, err := parsePIDM(x.mm.data)
+	if err != nil {
+		return err
+	}
+	return checksumPIDM(x.mm.data, h)
+}

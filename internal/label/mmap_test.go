@@ -1,0 +1,361 @@
+package label
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+// mmapTestIndex builds a small index with a mix of list lengths,
+// including an empty list, through the public finalizer.
+func mmapTestIndex() *Index {
+	return NewIndexFromLists([][]Entry{
+		{{Hub: 0, D: 0}, {Hub: 2, D: 7}},
+		{{Hub: 0, D: 3}, {Hub: 1, D: 0}},
+		{}, // isolated vertex
+		{{Hub: 0, D: 12}, {Hub: 1, D: 9}, {Hub: 3, D: 0}},
+	})
+}
+
+// pidmBytes serializes x in the PIDM format.
+func pidmBytes(t *testing.T, x *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := x.WriteMmap(&buf); err != nil {
+		t.Fatalf("WriteMmap: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.midx")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMmapRoundTrip(t *testing.T) {
+	x := mmapTestIndex()
+	y, err := Open(writeTemp(t, pidmBytes(t, x)))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer y.Close()
+
+	if !x.Equal(y) {
+		t.Fatal("mmap round trip changed index")
+	}
+	if y.Format() != FormatMmap {
+		t.Fatalf("Format() = %q, want %q", y.Format(), FormatMmap)
+	}
+	n := x.NumVertices()
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			sv, uv := graph.Vertex(s), graph.Vertex(u)
+			if got, want := y.Query(sv, uv), x.Query(sv, uv); got != want {
+				t.Fatalf("Query(%d,%d) = %d, want %d", s, u, got, want)
+			}
+			gd, gh := y.QueryWithHub(sv, uv)
+			wd, wh := x.QueryWithHub(sv, uv)
+			if gd != wd || gh != wh {
+				t.Fatalf("QueryWithHub(%d,%d) = (%d,%d), want (%d,%d)", s, u, gd, gh, wd, wh)
+			}
+		}
+	}
+	if err := y.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if err := y.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := y.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMmapEmptyIndex(t *testing.T) {
+	x := NewIndexFromLists(nil)
+	y, err := Open(writeTemp(t, pidmBytes(t, x)))
+	if err != nil {
+		t.Fatalf("Open empty: %v", err)
+	}
+	defer y.Close()
+	if y.NumVertices() != 0 || y.NumEntries() != 0 {
+		t.Fatalf("empty index decoded as n=%d total=%d", y.NumVertices(), y.NumEntries())
+	}
+}
+
+// fixHeaderCRC recomputes the header checksum after a deliberate header
+// mutation, so the test reaches the validation step it is aiming at.
+func fixHeaderCRC(data []byte) {
+	binary.LittleEndian.PutUint32(data[60:64], crc32.ChecksumIEEE(data[0:60]))
+}
+
+func TestMmapCorruptFrames(t *testing.T) {
+	base := pidmBytes(t, mmapTestIndex())
+	cases := []struct {
+		name    string
+		mutate  func(data []byte) []byte
+		wantErr string
+	}{
+		// mapFile's own size guard may fire before parsePIDM's.
+		{"truncated header", func(d []byte) []byte { return d[:32] }, "too small|truncated header"},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }, "bad magic"},
+		{"bad version", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[4:8], 99)
+			fixHeaderCRC(d)
+			return d
+		}, "unsupported version"},
+		{"header checksum", func(d []byte) []byte { d[9] ^= 0xff; return d }, "header checksum"},
+		{"vertex count overflow", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[8:16], math.MaxInt32+1)
+			fixHeaderCRC(d)
+			return d
+		}, "vertex count"},
+		{"entry count overflow", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[16:24], uint64(maxMmapEntries)+1)
+			fixHeaderCRC(d)
+			return d
+		}, "entry count"},
+		{"misaligned section offset", func(d []byte) []byte {
+			v := binary.LittleEndian.Uint64(d[32:40])
+			binary.LittleEndian.PutUint64(d[32:40], v+4)
+			fixHeaderCRC(d)
+			return d
+		}, "misaligned"},
+		{"inconsistent section offset", func(d []byte) []byte {
+			v := binary.LittleEndian.Uint64(d[32:40])
+			binary.LittleEndian.PutUint64(d[32:40], v+mmapAlign)
+			fixHeaderCRC(d)
+			return d
+		}, "inconsistent"},
+		{"truncated section", func(d []byte) []byte { return d[:len(d)-8] }, "truncated section"},
+		{"offset zero broken", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[mmapHeaderSize:], 1)
+			return d
+		}, "corrupt offsets"},
+		{"offsets not monotone", func(d []byte) []byte {
+			// off[1] jumps past off[2]; off[0] and off[n] stay valid.
+			binary.LittleEndian.PutUint64(d[mmapHeaderSize+8:], 1<<40)
+			return d
+		}, "not monotone"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(bytes.Clone(base))
+			if _, err := Open(writeTemp(t, data)); err == nil {
+				t.Fatal("Open accepted corrupt file")
+			} else if !containsAny(err.Error(), strings.Split(tc.wantErr, "|")) {
+				t.Fatalf("Open error %q does not mention %q", err, tc.wantErr)
+			}
+			if _, err := ReadAny(bytes.NewReader(data)); err == nil {
+				t.Fatal("ReadAny accepted corrupt file")
+			}
+		})
+	}
+}
+
+func containsAny(s string, subs []string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// A flipped payload byte leaves the structure valid: Open deliberately
+// skips the O(bytes) section checksums (that is what makes open O(1)),
+// Verify catches it on demand, and the stream path always catches it.
+func TestMmapSectionCorruptionDeferred(t *testing.T) {
+	x := mmapTestIndex()
+	data := pidmBytes(t, x)
+	h, err := parsePIDM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[h.hubsSec] ^= 0xff
+
+	y, err := Open(writeTemp(t, data))
+	if err != nil {
+		t.Fatalf("Open rejected structurally valid file: %v", err)
+	}
+	defer y.Close()
+	if err := y.Verify(); err == nil {
+		t.Fatal("Verify missed flipped section byte")
+	} else if !strings.Contains(err.Error(), "hubs section checksum") {
+		t.Fatalf("Verify error %q does not name the hubs section", err)
+	}
+	if _, err := ReadAny(bytes.NewReader(data)); err == nil {
+		t.Fatal("ReadAny missed flipped section byte")
+	}
+}
+
+func TestReadAnySniffsAllFormats(t *testing.T) {
+	x := mmapTestIndex()
+	writers := map[string]func(*Index, *bytes.Buffer) error{
+		FormatFixed:   func(x *Index, b *bytes.Buffer) error { return x.Write(b) },
+		FormatCompact: func(x *Index, b *bytes.Buffer) error { return x.WriteCompact(b) },
+		FormatMmap:    func(x *Index, b *bytes.Buffer) error { return x.WriteMmap(b) },
+	}
+	for format, write := range writers {
+		var buf bytes.Buffer
+		if err := write(x, &buf); err != nil {
+			t.Fatalf("%s: write: %v", format, err)
+		}
+		y, err := ReadAny(&buf)
+		if err != nil {
+			t.Fatalf("%s: ReadAny: %v", format, err)
+		}
+		if !x.Equal(y) {
+			t.Fatalf("%s: ReadAny changed index", format)
+		}
+		if y.Format() != format {
+			t.Fatalf("%s: Format() = %q", format, y.Format())
+		}
+	}
+	if _, err := ReadAny(bytes.NewReader([]byte("what is this"))); err == nil {
+		t.Fatal("ReadAny accepted junk")
+	}
+	if _, err := ReadAny(bytes.NewReader(nil)); err == nil {
+		t.Fatal("ReadAny accepted empty input")
+	}
+}
+
+func TestOpenAnyZeroCopyOnlyForPIDM(t *testing.T) {
+	x := mmapTestIndex()
+	dir := t.TempDir()
+	for _, format := range []string{FormatFixed, FormatCompact, FormatMmap} {
+		var buf bytes.Buffer
+		var err error
+		switch format {
+		case FormatFixed:
+			err = x.Write(&buf)
+		case FormatCompact:
+			err = x.WriteCompact(&buf)
+		case FormatMmap:
+			err = x.WriteMmap(&buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately mismatched extension: dispatch is by content.
+		path := filepath.Join(dir, format+".whatever")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		y, err := OpenAny(path)
+		if err != nil {
+			t.Fatalf("%s: OpenAny: %v", format, err)
+		}
+		if !x.Equal(y) {
+			t.Fatalf("%s: OpenAny changed index", format)
+		}
+		if format == FormatMmap && !y.Mapped() && mappedExpected() {
+			t.Fatal("PIDM file did not open as a mapping")
+		}
+		if format != FormatMmap && y.Mapped() {
+			t.Fatalf("%s: heap format claims to be mapped", format)
+		}
+		y.Close()
+	}
+}
+
+// mappedExpected reports whether this platform's Open produces a real
+// OS mapping (the !unix fallback heap-loads instead).
+func mappedExpected() bool {
+	mm, err := mapFile("/dev/null")
+	if err != nil {
+		return false
+	}
+	defer mm.close()
+	return mm.mapped
+}
+
+// TestCrossFormatEquivalence is the property test behind the "any
+// format may live under any extension" contract: random indexes round
+// trip through all three formats and answer identically.
+func TestCrossFormatEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(12)
+		lists := make([][]Entry, n)
+		for v := range lists {
+			for k := r.Intn(5); k > 0; k-- {
+				lists[v] = append(lists[v], Entry{
+					Hub: graph.Vertex(r.Intn(n)),
+					D:   graph.Dist(r.Intn(100)),
+				})
+			}
+		}
+		x := NewIndexFromLists(lists)
+
+		var fixed, compact, mm bytes.Buffer
+		if err := x.Write(&fixed); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.WriteCompact(&compact); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.WriteMmap(&mm); err != nil {
+			t.Fatal(err)
+		}
+		ys := make([]*Index, 0, 3)
+		for _, buf := range []*bytes.Buffer{&fixed, &compact, &mm} {
+			y, err := ReadAny(buf)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			ys = append(ys, y)
+		}
+		for probe := 0; probe < 50; probe++ {
+			s := graph.Vertex(r.Intn(n))
+			u := graph.Vertex(r.Intn(n))
+			wd, wh := x.QueryWithHub(s, u)
+			for i, y := range ys {
+				gd, gh := y.QueryWithHub(s, u)
+				if gd != wd || gh != wh {
+					t.Fatalf("trial %d format %d: QueryWithHub(%d,%d) = (%d,%d), want (%d,%d)",
+						trial, i, s, u, gd, gh, wd, wh)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkOpenMmap(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	lists := make([][]Entry, 2000)
+	for v := range lists {
+		for j := 0; j < 20; j++ {
+			lists[v] = append(lists[v], Entry{Hub: graph.Vertex(r.Intn(2000)), D: graph.Dist(r.Intn(1000))})
+		}
+	}
+	x := NewIndexFromLists(lists)
+	var buf bytes.Buffer
+	if err := x.WriteMmap(&buf); err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "x.midx")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y.Close()
+	}
+}

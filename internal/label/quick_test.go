@@ -3,7 +3,6 @@ package label
 import (
 	"bytes"
 	"math/rand"
-	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -96,7 +95,7 @@ func TestQuickCompactRoundTrip(t *testing.T) {
 		if x.NumEntries() == 0 {
 			return y.NumEntries() == 0 && y.NumVertices() == x.NumVertices()
 		}
-		return reflect.DeepEqual(x, y)
+		return x.Equal(y)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -118,7 +117,7 @@ func TestQuickFixedRoundTrip(t *testing.T) {
 		if x.NumEntries() == 0 {
 			return y.NumEntries() == 0 && y.NumVertices() == x.NumVertices()
 		}
-		return reflect.DeepEqual(x, y)
+		return x.Equal(y)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

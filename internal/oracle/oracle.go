@@ -1,0 +1,45 @@
+// Package oracle defines the one query surface every distance index in
+// this repository serves. Four index implementations answer the paper's
+// QUERY(s,t,L): the undirected 2-hop index (label.Index, including its
+// mmap-backed form), the directed in/out-label index (directed.Index),
+// the insert-maintained dynamic index (dynamic.Index), and the
+// path-augmented index (pathidx.Index). Server, bench and the CLIs
+// program against this interface instead of the four concrete types, so
+// a serving deployment can swap index kinds — or swap a heap-decoded
+// index for a zero-copy mmap one — without touching call sites.
+package oracle
+
+import (
+	"parapll/internal/directed"
+	"parapll/internal/dynamic"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/pathidx"
+)
+
+// Oracle answers exact point-to-point distance queries over a fixed
+// vertex set [0, NumVertices). Implementations are safe for concurrent
+// queries (dynamic.Index additionally requires that no InsertEdge runs
+// while queries are in flight).
+type Oracle interface {
+	// NumVertices returns the size of the indexed vertex set.
+	NumVertices() int
+	// Query returns the exact distance between s and t, graph.Inf when
+	// the pair is disconnected. For directed indexes this is d(s→t).
+	Query(s, t graph.Vertex) graph.Dist
+	// QueryWithHub also reports the meeting hub achieving the minimum
+	// (-1 for disconnected pairs; (0, s) for s == t).
+	QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex)
+	// QueryBatch answers many pairs, fanning out over `threads`
+	// goroutines (<= 0 means GOMAXPROCS).
+	QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist
+}
+
+// Every index implementation must satisfy the interface; a missing or
+// drifted method is a compile error here, not a runtime surprise.
+var (
+	_ Oracle = (*label.Index)(nil)
+	_ Oracle = (*directed.Index)(nil)
+	_ Oracle = (*dynamic.Index)(nil)
+	_ Oracle = (*pathidx.Index)(nil)
+)

@@ -297,6 +297,19 @@ func (x *Index) queryHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
 	return best, hub
 }
 
+// QueryWithHub is Query but also reports the meeting hub achieving the
+// minimum; hub is -1 for disconnected pairs, and (0, s) is returned
+// for s == t.
+func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	return x.queryHub(s, t)
+}
+
+// QueryBatch answers many (s,t) pairs in parallel (threads <= 0 means
+// GOMAXPROCS). The index is immutable, so no synchronization is needed.
+func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
+	return graph.BatchQuery(x.Query, pairs, threads)
+}
+
 // Path returns the vertex sequence of a shortest path from s to t and
 // its distance. It returns (nil, Inf) for disconnected pairs and
 // ([s], 0) for s == t. The path is exact: its edge weights sum to the

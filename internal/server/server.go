@@ -10,7 +10,12 @@
 //	                      → {"dists":[...]} (-1 encodes unreachable)
 //	GET  /path?s=A&t=B    → {"path":[...],"dist":D} (404 if no path index)
 //	GET  /knn?s=A&k=N     → k closest vertices with exact distances
-//	GET  /stats           → index size statistics
+//	GET  /stats           → index size statistics + generation/format
+//	POST /reload          ← optional {"path":"other.idx"}
+//	                      → swaps in a freshly loaded index (409 if a
+//	                        reload is already running; see Reload)
+//	GET  /readyz          → 200 once an index is published, 503 while
+//	                        the initial load/build is still running
 //	GET  /healthz         → {"status":"ok"} liveness probe
 //	GET  /metrics         → metrics.Snapshot JSON: per-endpoint request
 //	                        and error counts, latency histograms, and an
@@ -19,39 +24,93 @@
 // Every endpoint enforces its method (405 otherwise) and is wrapped in
 // the same instrumentation middleware, so /metrics always reflects the
 // full request stream, including rejected requests.
+//
+// # Snapshot model
+//
+// The serving state — index, optional path index, lazily built KNN
+// index, generation counter, source path — lives in one immutable
+// snapshot behind an atomic pointer. Queries load the pointer once and
+// run entirely against that snapshot; Reload builds the next snapshot
+// off the request path and publishes it with a single atomic store.
+// In-flight queries finish on the snapshot they started with, the KNN
+// cache is rebuilt per snapshot (never stale), and an mmap-backed old
+// index is unmapped by its finalizer once the last query referencing it
+// completes.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parapll/internal/graph"
 	"parapll/internal/knn"
 	"parapll/internal/label"
 	"parapll/internal/metrics"
+	"parapll/internal/oracle"
 	"parapll/internal/pathidx"
 )
 
-// Server answers distance queries over HTTP from a finalized index and,
-// optionally, a path-augmented index for route reconstruction.
-type Server struct {
-	idx      *label.Index
-	pidx     *pathidx.Index // may be nil: /path then returns 404
-	knn      *knn.Index     // built lazily on the first /knn request
-	knnOnce  sync.Once
-	mux      *http.ServeMux
-	reg      *metrics.Registry
-	inflight *metrics.Gauge
+// snapshot is one immutable generation of serving state. All fields are
+// written before the snapshot is published and never after, except the
+// lazily built KNN index behind its own sync.Once.
+type snapshot struct {
+	idx    *label.Index
+	ora    oracle.Oracle // the query surface handlers program against
+	pidx   *pathidx.Index
+	gen    uint64
+	source string // file the index was loaded from; "" if in-memory
+	loaded time.Time
+
+	knnOnce sync.Once
+	knn     *knn.Index
 }
 
-// New builds the handler with its own metrics registry. pidx may be nil
-// to disable /path.
+// knnIndex builds the inverted index on first use — per snapshot, so a
+// reload can never serve KNN answers from a previous generation.
+func (sn *snapshot) knnIndex() *knn.Index {
+	sn.knnOnce.Do(func() { sn.knn = knn.New(sn.idx) })
+	return sn.knn
+}
+
+// Loader loads serving state from an index file for Reload. Returning a
+// nil path index means "keep the current snapshot's path index" (path
+// indexes are built from the graph, which a reload of the distance
+// artifact does not see).
+type Loader func(path string) (*label.Index, *pathidx.Index, error)
+
+// Reload error sentinels, mapped to HTTP statuses by POST /reload.
+var (
+	// ErrNoLoader means the server was built around an in-memory index
+	// and has no way to load another one.
+	ErrNoLoader = errors.New("server: no loader configured")
+	// ErrReloadBusy means another reload is still in progress.
+	ErrReloadBusy = errors.New("server: reload already in progress")
+)
+
+// Server answers distance queries over HTTP from an atomically swappable
+// index snapshot.
+type Server struct {
+	snap     atomic.Pointer[snapshot]
+	gen      atomic.Uint64
+	loader   Loader
+	reloadMu sync.Mutex // held for the duration of one reload
+
+	mux        *http.ServeMux
+	reg        *metrics.Registry
+	inflight   *metrics.Gauge
+	generation *metrics.Gauge
+}
+
+// New builds the handler with its own metrics registry and the given
+// in-memory serving state. pidx may be nil to disable /path.
 func New(idx *label.Index, pidx *pathidx.Index) *Server {
 	return NewWithRegistry(idx, pidx, metrics.NewRegistry())
 }
@@ -60,13 +119,30 @@ func New(idx *label.Index, pidx *pathidx.Index) *Server {
 // embedding process (cmd/parapll-server) share one registry between the
 // HTTP layer and anything else it instruments.
 func NewWithRegistry(idx *label.Index, pidx *pathidx.Index, reg *metrics.Registry) *Server {
-	s := &Server{idx: idx, pidx: pidx, mux: http.NewServeMux(), reg: reg}
+	s := NewPending(reg)
+	s.Publish(idx, pidx, "")
+	return s
+}
+
+// NewPending builds a handler with no index yet: /readyz (and every
+// query endpoint) answers 503 until Publish installs the first
+// snapshot. This lets the listener come up immediately while the index
+// loads or builds in the background, so orchestrators can probe
+// readiness instead of timing out on connect. reg may be nil.
+func NewPending(reg *metrics.Registry) *Server {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Server{mux: http.NewServeMux(), reg: reg}
 	s.inflight = reg.Gauge("http.inflight")
-	s.handle("/query", http.MethodGet, s.handleQuery)
-	s.handle("/batch", http.MethodPost, s.handleBatch)
-	s.handle("/path", http.MethodGet, s.handlePath)
-	s.handle("/knn", http.MethodGet, s.handleKNN)
-	s.handle("/stats", http.MethodGet, s.handleStats)
+	s.generation = reg.Gauge("index.generation")
+	s.handleSnap("/query", http.MethodGet, s.handleQuery)
+	s.handleSnap("/batch", http.MethodPost, s.handleBatch)
+	s.handleSnap("/path", http.MethodGet, s.handlePath)
+	s.handleSnap("/knn", http.MethodGet, s.handleKNN)
+	s.handleSnap("/stats", http.MethodGet, s.handleStats)
+	s.handle("/reload", http.MethodPost, s.handleReload)
+	s.handle("/readyz", http.MethodGet, s.handleReadyz)
 	s.handle("/healthz", http.MethodGet, s.handleHealthz)
 	s.handle("/metrics", http.MethodGet, s.handleMetrics)
 	return s
@@ -74,6 +150,69 @@ func NewWithRegistry(idx *label.Index, pidx *pathidx.Index, reg *metrics.Registr
 
 // Registry returns the registry this server records into.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Generation returns the current snapshot's generation (0 = none yet).
+func (s *Server) Generation() uint64 {
+	if sn := s.snap.Load(); sn != nil {
+		return sn.gen
+	}
+	return 0
+}
+
+// SetLoader configures how Reload loads index files. Typically wired to
+// fileio.LoadIndex by cmd/parapll-server when started with -index.
+func (s *Server) SetLoader(l Loader) { s.loader = l }
+
+// Publish atomically swaps in new serving state and returns its
+// generation. In-flight requests keep the snapshot they started with;
+// new requests see the new one. Safe to call concurrently with
+// traffic.
+func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) uint64 {
+	gen := s.gen.Add(1)
+	s.snap.Store(&snapshot{
+		idx:    idx,
+		ora:    idx,
+		pidx:   pidx,
+		gen:    gen,
+		source: source,
+		loaded: time.Now(),
+	})
+	s.generation.Set(int64(gen))
+	return gen
+}
+
+// Reload loads an index file and publishes it. An empty path reloads
+// the current snapshot's source file. Only one reload runs at a time
+// (ErrReloadBusy otherwise); queries are never blocked — they serve the
+// old snapshot until the atomic swap. If the loader returns no path
+// index, the current snapshot's path index is carried over.
+func (s *Server) Reload(path string) (uint64, error) {
+	if s.loader == nil {
+		return 0, ErrNoLoader
+	}
+	if !s.reloadMu.TryLock() {
+		return 0, ErrReloadBusy
+	}
+	defer s.reloadMu.Unlock()
+	if path == "" {
+		if sn := s.snap.Load(); sn != nil {
+			path = sn.source
+		}
+	}
+	if path == "" {
+		return 0, fmt.Errorf("server: no index path to reload (served index was built in memory)")
+	}
+	idx, pidx, err := s.loader(path)
+	if err != nil {
+		return 0, fmt.Errorf("server: reloading %s: %w", path, err)
+	}
+	if pidx == nil {
+		if sn := s.snap.Load(); sn != nil {
+			pidx = sn.pidx
+		}
+	}
+	return s.Publish(idx, pidx, path), nil
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -119,7 +258,23 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 	})
 }
 
-func (s *Server) vertexParam(r *http.Request, name string) (graph.Vertex, error) {
+// handleSnap is handle for endpoints that need serving state: the
+// handler receives the snapshot current at request start and uses it
+// throughout, so a concurrent reload can never shear a request across
+// two generations. While no snapshot is published yet, these answer
+// 503 (matching /readyz).
+func (s *Server) handleSnap(path, method string, h func(sn *snapshot, w http.ResponseWriter, r *http.Request)) {
+	s.handle(path, method, func(w http.ResponseWriter, r *http.Request) {
+		sn := s.snap.Load()
+		if sn == nil {
+			writeErr(w, http.StatusServiceUnavailable, errors.New("index is still loading"))
+			return
+		}
+		h(sn, w, r)
+	})
+}
+
+func vertexParam(sn *snapshot, r *http.Request, name string) (graph.Vertex, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, fmt.Errorf("missing parameter %q", name)
@@ -128,8 +283,8 @@ func (s *Server) vertexParam(r *http.Request, name string) (graph.Vertex, error)
 	if err != nil {
 		return 0, fmt.Errorf("bad vertex %q", raw)
 	}
-	if v < 0 || int(v) >= s.idx.NumVertices() {
-		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.idx.NumVertices())
+	if v < 0 || int(v) >= sn.ora.NumVertices() {
+		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, sn.ora.NumVertices())
 	}
 	return graph.Vertex(v), nil
 }
@@ -159,18 +314,18 @@ func encodeDist(d graph.Dist) int64 {
 	return int64(d)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	src, err := s.vertexParam(r, "s")
+func (s *Server) handleQuery(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+	src, err := vertexParam(sn, r, "s")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	dst, err := s.vertexParam(r, "t")
+	dst, err := vertexParam(sn, r, "t")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d := s.idx.Query(src, dst)
+	d := sn.ora.Query(src, dst)
 	writeJSON(w, http.StatusOK, queryResponse{
 		S: src, T: dst, Dist: encodeDist(d), Reachable: d != graph.Inf,
 	})
@@ -191,9 +346,12 @@ const (
 	// 8 MiB leaves headroom without letting a client stream gigabytes
 	// into the decoder.
 	maxBatchBytes = 8 << 20
+	// batchThreads caps the fan-out of one /batch request so a single
+	// large batch cannot monopolize every core against other requests.
+	batchThreads = 4
 )
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(sn *snapshot, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -210,14 +368,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Pairs), maxBatch))
 		return
 	}
-	n := s.idx.NumVertices()
-	out := batchResponse{Dists: make([]int64, len(req.Pairs))}
+	n := sn.ora.NumVertices()
 	for i, p := range req.Pairs {
 		if int(p[0]) < 0 || int(p[0]) >= n || int(p[1]) < 0 || int(p[1]) >= n {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("pair %d out of range", i))
 			return
 		}
-		out.Dists[i] = encodeDist(s.idx.Query(p[0], p[1]))
+	}
+	dists := sn.ora.QueryBatch(req.Pairs, batchThreads)
+	out := batchResponse{Dists: make([]int64, len(dists))}
+	for i, d := range dists {
+		out.Dists[i] = encodeDist(d)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -228,22 +389,22 @@ type pathResponse struct {
 	Dist int64          `json:"dist"`
 }
 
-func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
-	if s.pidx == nil {
+func (s *Server) handlePath(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+	if sn.pidx == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server was started without a path index"))
 		return
 	}
-	src, err := s.vertexParam(r, "s")
+	src, err := vertexParam(sn, r, "s")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	dst, err := s.vertexParam(r, "t")
+	dst, err := vertexParam(sn, r, "t")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	path, d := s.pidx.Path(src, dst)
+	path, d := sn.pidx.Path(src, dst)
 	if d == graph.Inf {
 		writeJSON(w, http.StatusOK, pathResponse{Path: nil, Dist: -1})
 		return
@@ -260,9 +421,10 @@ const maxK = 10000
 
 // handleKNN serves GET /knn?s=A&k=N: the k closest vertices to s with
 // exact distances. The inverted index is built lazily on first use (it
-// costs as much memory as the index itself).
-func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
-	src, err := s.vertexParam(r, "s")
+// costs as much memory as the index itself) and cached on the snapshot,
+// so it is rebuilt — not reused stale — after every reload.
+func (s *Server) handleKNN(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+	src, err := vertexParam(sn, r, "s")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -273,8 +435,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad k %q (want 1..%d)", kRaw, maxK))
 		return
 	}
-	s.knnOnce.Do(func() { s.knn = knn.New(s.idx) })
-	res := s.knn.Query(src, k)
+	res := sn.knnIndex().Query(src, k)
 	if res == nil {
 		res = []knn.Result{}
 	}
@@ -287,15 +448,81 @@ type statsResponse struct {
 	Entries      int64   `json:"entries"`
 	AvgLabelSize float64 `json:"avg_label_size"`
 	HasPathIndex bool    `json:"has_path_index"`
+	Generation   uint64  `json:"generation"`
+	Format       string  `json:"format"`
+	Mmap         bool    `json:"mmap"`
+	Source       string  `json:"source,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		Vertices:     s.idx.NumVertices(),
-		Entries:      s.idx.NumEntries(),
-		AvgLabelSize: s.idx.AvgLabelSize(),
-		HasPathIndex: s.pidx != nil,
+		Vertices:     sn.idx.NumVertices(),
+		Entries:      sn.idx.NumEntries(),
+		AvgLabelSize: sn.idx.AvgLabelSize(),
+		HasPathIndex: sn.pidx != nil,
+		Generation:   sn.gen,
+		Format:       sn.idx.Format(),
+		Mmap:         sn.idx.Mapped(),
+		Source:       sn.source,
 	})
+}
+
+// reloadRequest / reloadResponse are the /reload wire types.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+type reloadResponse struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+	Vertices   int    `json:"vertices"`
+	Format     string `json:"format"`
+	Mmap       bool   `json:"mmap"`
+}
+
+// handleReload serves POST /reload: load a fresh index (optionally from
+// a different path) and swap it in atomically. The load happens on this
+// request's goroutine; every other request keeps serving the old
+// snapshot until the swap.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	if _, err := s.Reload(req.Path); err != nil {
+		switch {
+		case errors.Is(err, ErrReloadBusy):
+			writeErr(w, http.StatusConflict, err)
+		case errors.Is(err, ErrNoLoader):
+			writeErr(w, http.StatusPreconditionFailed, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Status:     "ok",
+		Generation: sn.gen,
+		Source:     sn.source,
+		Vertices:   sn.idx.NumVertices(),
+		Format:     sn.idx.Format(),
+		Mmap:       sn.idx.Mapped(),
+	})
+}
+
+// handleReadyz distinguishes "process up" (/healthz) from "index
+// published and answering" — the signal a load balancer or orchestrator
+// should gate traffic on, since the listener comes up before the index
+// finishes loading.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	if sn == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"status": "loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"status": "ready", "generation": sn.gen})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

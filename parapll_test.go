@@ -96,7 +96,7 @@ func TestGraphAndIndexPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(idx, idx2) {
+	if !idx.Equal(idx2) {
 		t.Fatal("index persistence round trip failed")
 	}
 	if d := idx2.Query(0, 3); d != 12 {

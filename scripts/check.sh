@@ -18,6 +18,15 @@ go test -race -short ./...
 echo "== go test ./... (tier-1)"
 go test ./...
 
+# Cross-compile smoke: the mmap open path is split by build tags
+# (//go:build unix vs the pure-read fallback), so compile the tree for a
+# non-linux unix, for windows (the fallback) and for another
+# architecture to catch tag or unsafe-arithmetic breakage early.
+echo "== cross-compile smoke (darwin, windows, linux/arm64)"
+GOOS=darwin GOARCH=arm64 go build ./...
+GOOS=windows GOARCH=amd64 go build ./...
+GOOS=linux GOARCH=arm64 go build ./...
+
 # Opt-in: sync-pipeline benchmark (writes BENCH_sync.json). Slowish, so
 # off by default; enable with SYNC_BENCH=1 scripts/check.sh
 if [ "${SYNC_BENCH:-0}" = "1" ]; then
