@@ -13,6 +13,7 @@
 package knn
 
 import (
+	"runtime"
 	"sort"
 
 	"parapll/internal/graph"
@@ -37,7 +38,12 @@ type Index struct {
 
 // New builds the inverted structure from a finalized index. Memory cost
 // equals the index itself (every label entry appears once, transposed).
+//
+// x may be mmap-backed: New and the query methods hold its Label slices
+// across loops, so each ends with runtime.KeepAlive to pin the mapping
+// (see the label.Index memory-model comment).
 func New(x *label.Index) *Index {
+	defer runtime.KeepAlive(x)
 	n := x.NumVertices()
 	counts := make([]int64, n+1)
 	for v := 0; v < n; v++ {
@@ -142,6 +148,7 @@ func (h *mergeHeap) pop() cursorItem {
 // itself), with exact distances, sorted by distance then id. It shares
 // the k-NN merge machinery but stops once the frontier passes radius.
 func (inv *Index) Within(s graph.Vertex, radius graph.Dist) []Result {
+	defer runtime.KeepAlive(inv) // pins inv.idx's mapping while sHubs/sDists are read
 	sHubs, sDists := inv.idx.Label(s)
 	var h mergeHeap
 	for i, hub := range sHubs {
@@ -193,6 +200,7 @@ func (inv *Index) Query(s graph.Vertex, k int) []Result {
 	if k <= 0 {
 		return nil
 	}
+	defer runtime.KeepAlive(inv) // pins inv.idx's mapping while sHubs/sDists are read
 	sHubs, sDists := inv.idx.Label(s)
 	var h mergeHeap
 	bases := make([]graph.Dist, len(sHubs))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 
 	"parapll/internal/graph"
 )
@@ -22,6 +23,7 @@ const compactVersion = 1
 
 // WriteCompact serializes the index in the varint-delta format.
 func (x *Index) WriteCompact(w io.Writer) error {
+	defer runtime.KeepAlive(x) // the arrays may alias a finalizer-managed mapping
 	bw := bufio.NewWriterSize(w, 1<<20)
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(bw, crc)

@@ -17,6 +17,15 @@ import (
 // The arrays either live on the heap (built or stream-decoded indexes)
 // or alias a read-only file mapping (Open); queries are identical
 // either way.
+//
+// Memory model for mmap-backed indexes: the aliased slices point into
+// non-heap memory, so holding one does NOT keep the mapping alive —
+// only a reference to the Index (which owns mm) does. A precise GC may
+// otherwise collect the Index after its last syntactic use, run the
+// mapping finalizer and unmap mid-read. Every method that dereferences
+// the arrays therefore ends with runtime.KeepAlive(x); code outside
+// this package that retains the slices returned by Label must keep the
+// Index reachable the same way for as long as it reads them.
 type Index struct {
 	off   []int64        // len n+1
 	hubs  []graph.Vertex // flat, sorted by hub within each vertex run
@@ -119,16 +128,23 @@ func fromLists(lists [][]Entry) *Index {
 // mmap) and origin format. This is the invariant the cross-format
 // round-trip tests assert.
 func (x *Index) Equal(y *Index) bool {
-	return slices.Equal(x.off, y.off) &&
+	eq := slices.Equal(x.off, y.off) &&
 		slices.Equal(x.hubs, y.hubs) &&
 		slices.Equal(x.dists, y.dists)
+	runtime.KeepAlive(x)
+	runtime.KeepAlive(y)
+	return eq
 }
 
 // NumVertices returns the number of labeled vertices.
 func (x *Index) NumVertices() int { return len(x.off) - 1 }
 
 // NumEntries returns the total number of label entries.
-func (x *Index) NumEntries() int64 { return x.off[len(x.off)-1] }
+func (x *Index) NumEntries() int64 {
+	total := x.off[len(x.off)-1]
+	runtime.KeepAlive(x) // x.off may alias a finalizer-managed mapping
+	return total
+}
 
 // AvgLabelSize returns the mean entries per vertex — the paper's LN metric
 // reported in Tables 3–5.
@@ -149,14 +165,20 @@ func (x *Index) MemoryBytes() int64 {
 
 // LabelSize returns |L(v)|.
 func (x *Index) LabelSize(v graph.Vertex) int {
-	return int(x.off[v+1] - x.off[v])
+	size := int(x.off[v+1] - x.off[v])
+	runtime.KeepAlive(x)
+	return size
 }
 
 // Label returns v's entries (hub-sorted). The slices alias internal
-// storage and must not be modified.
+// storage and must not be modified; for a possibly mmap-backed index
+// the caller must also keep x reachable (runtime.KeepAlive) for as long
+// as it reads them — see the Index memory-model comment.
 func (x *Index) Label(v graph.Vertex) ([]graph.Vertex, []graph.Dist) {
 	lo, hi := x.off[v], x.off[v+1]
-	return x.hubs[lo:hi], x.dists[lo:hi]
+	hubs, dists := x.hubs[lo:hi], x.dists[lo:hi]
+	runtime.KeepAlive(x)
+	return hubs, dists
 }
 
 // Query returns the shortest-path distance between s and t, or graph.Inf
@@ -184,6 +206,7 @@ func (x *Index) Query(s, t graph.Vertex) graph.Dist {
 			j++
 		}
 	}
+	runtime.KeepAlive(x) // the merge reads slices aliasing x's mapping
 	return best
 }
 
@@ -214,6 +237,7 @@ func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
 			j++
 		}
 	}
+	runtime.KeepAlive(x)
 	return best, hub
 }
 
@@ -250,6 +274,7 @@ func (x *Index) Remap(newToOld []graph.Vertex) *Index {
 		}
 		lists[oldV] = row
 	}
+	runtime.KeepAlive(x)
 	return NewIndexFromLists(lists)
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 
 	"parapll/internal/graph"
 )
@@ -18,6 +19,7 @@ const idxVersion = 1
 // (cmd/parapll-query) can run as separate processes, as in the paper's
 // two-stage workflow.
 func (x *Index) Write(w io.Writer) error {
+	defer runtime.KeepAlive(x) // the arrays may alias a finalizer-managed mapping
 	bw := bufio.NewWriterSize(w, 1<<20)
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(bw, crc)

@@ -82,7 +82,11 @@ func mmapLayout(n int, total int64) (offSec, hubsSec, distsSec, size uint64) {
 // mapping on unix, a heap buffer on the fallback platforms and the
 // stream-read path. close is idempotent; a finalizer backstops leaked
 // mappings so hot-swapped snapshots release their pages once the last
-// query referencing them is gone.
+// query referencing them is gone. The finalizer is only safe because
+// every reader of the aliased arrays pins the owning Index with
+// runtime.KeepAlive until its last dereference (see the Index
+// memory-model comment) — the slices themselves point into non-heap
+// memory and do not keep the mapping reachable.
 type mapping struct {
 	data   []byte
 	mapped bool               // true = a real OS mapping (zero-copy)
@@ -105,6 +109,7 @@ func (m *mapping) close() error {
 // passes: one to checksum the sections (the header precedes them in the
 // file), one to emit.
 func (x *Index) WriteMmap(w io.Writer) error {
+	defer runtime.KeepAlive(x) // the arrays may alias a finalizer-managed mapping
 	n := x.NumVertices()
 	total := x.NumEntries()
 	offSec, hubsSec, distsSec, _ := mmapLayout(n, total)
@@ -300,7 +305,9 @@ func slicePIDM(data []byte, h pidmHeader) (x *Index, aliased bool, err error) {
 // The returned Index must not be used after Close. If Close is never
 // called, a finalizer releases the mapping when the Index becomes
 // unreachable, which is what lets a server hot-swap indexes without
-// tracking when in-flight queries drain.
+// tracking when in-flight queries drain; in-flight reads are protected
+// because every Index method keeps the Index (and hence the mapping)
+// reachable via runtime.KeepAlive until its last array access.
 func Open(path string) (*Index, error) {
 	mm, err := mapFile(path)
 	if err != nil {
@@ -361,6 +368,7 @@ func readPIDMStream(r io.Reader) (*Index, error) {
 // in the whole file. For heap-decoded indexes (stream readers verify on
 // read; built indexes have nothing on disk) it is a no-op.
 func (x *Index) Verify() error {
+	defer runtime.KeepAlive(x) // keep the mapping alive through the checksum scan
 	if x.mm == nil || x.mm.data == nil {
 		return nil
 	}

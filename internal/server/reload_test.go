@@ -152,6 +152,81 @@ func TestReloadEndpoint(t *testing.T) {
 	}
 }
 
+// The path index is graph-derived state the loader cannot rebuild, so a
+// reload carries it over only when re-reading the same artifact; after
+// switching to a different artifact /path must 404 rather than answer
+// (or panic) from a path index validated against another graph.
+func TestReloadPathIndexCarryOver(t *testing.T) {
+	dir := t.TempDir()
+	a := saveLineIndex(t, dir, 6, label.FormatFixed)
+	b := saveLineIndex(t, dir, 9, label.FormatMmap)
+
+	s := NewPending(nil)
+	s.SetLoader(func(p string) (*label.Index, *pathidx.Index, error) {
+		idx, err := fileio.LoadIndex(p)
+		return idx, nil, err
+	})
+	first, err := fileio.LoadIndex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(first, pathidx.Build(lineGraph(6), pathidx.Options{Threads: 1}), a)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Same artifact: the path index survives the swap.
+	if code, _ := postReload(t, ts.URL, a); code != http.StatusOK {
+		t.Fatalf("same-path reload: status %d", code)
+	}
+	var p pathResponse
+	if code := getJSON(t, ts.URL+"/path?s=0&t=5", &p); code != http.StatusOK || p.Dist != 5 {
+		t.Fatalf("path after same-path reload: status %d, %+v", code, p)
+	}
+
+	// Different artifact (and vertex count): the stale path index is
+	// dropped — t=8 is valid in the new index but out of range for the
+	// old path index, which would panic if carried over.
+	if code, _ := postReload(t, ts.URL, b); code != http.StatusOK {
+		t.Fatalf("cross-path reload: status %d", code)
+	}
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/path?s=0&t=8", &e); code != http.StatusNotFound {
+		t.Fatalf("path after cross-path reload: status %d, want 404", code)
+	}
+	var st statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK || st.HasPathIndex {
+		t.Fatalf("stats after cross-path reload: status %d, %+v", code, st)
+	}
+}
+
+// POST /reload bounds its body like /batch does: a path payload is
+// tiny, so an oversized body is rejected before it is buffered.
+func TestReloadBodyTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	path := saveLineIndex(t, dir, 4, label.FormatFixed)
+	s := NewPending(nil)
+	s.SetLoader(func(p string) (*label.Index, *pathidx.Index, error) {
+		idx, err := fileio.LoadIndex(p)
+		return idx, nil, err
+	})
+	s.Publish(pll.Build(lineGraph(4), pll.Options{}), nil, path)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+
+	// Well-formed JSON so the decoder keeps reading until the byte cap
+	// trips (junk would fail parsing before the limit is reached).
+	huge := append([]byte(`{"path":"`), bytes.Repeat([]byte("x"), maxReloadBytes+1)...)
+	huge = append(huge, '"', '}')
+	resp, err := http.Post(ts.URL+"/reload", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized reload body: status %d, want 413", resp.StatusCode)
+	}
+}
+
 func TestReloadWithoutLoader(t *testing.T) {
 	ts, _ := testServer(t, false)
 	code, _ := postReload(t, ts.URL, "whatever.idx")

@@ -35,7 +35,8 @@
 // In-flight queries finish on the snapshot they started with, the KNN
 // cache is rebuilt per snapshot (never stale), and an mmap-backed old
 // index is unmapped by its finalizer once the last query referencing it
-// completes.
+// completes — safe because every label.Index (and knn.Index) reader
+// pins the mapping with runtime.KeepAlive until its last array access.
 package server
 
 import (
@@ -83,7 +84,10 @@ func (sn *snapshot) knnIndex() *knn.Index {
 // Loader loads serving state from an index file for Reload. Returning a
 // nil path index means "keep the current snapshot's path index" (path
 // indexes are built from the graph, which a reload of the distance
-// artifact does not see).
+// artifact does not see) — but the old path index is only carried over
+// when the reload re-reads the same source file and the vertex counts
+// still match; reloading a different artifact drops it (404 on /path),
+// since a path index for another graph would answer with wrong paths.
 type Loader func(path string) (*label.Index, *pathidx.Index, error)
 
 // Reload error sentinels, mapped to HTTP statuses by POST /reload.
@@ -100,8 +104,8 @@ var (
 type Server struct {
 	snap     atomic.Pointer[snapshot]
 	gen      atomic.Uint64
-	loader   Loader
-	reloadMu sync.Mutex // held for the duration of one reload
+	loader   atomic.Pointer[Loader] // atomic: SetLoader may race with SIGHUP/`/reload`
+	reloadMu sync.Mutex             // held for the duration of one reload
 
 	mux        *http.ServeMux
 	reg        *metrics.Registry
@@ -160,8 +164,10 @@ func (s *Server) Generation() uint64 {
 }
 
 // SetLoader configures how Reload loads index files. Typically wired to
-// fileio.LoadIndex by cmd/parapll-server when started with -index.
-func (s *Server) SetLoader(l Loader) { s.loader = l }
+// fileio.LoadIndex by cmd/parapll-server when started with -index. Safe
+// to call concurrently with in-flight reloads; a reload already past
+// its loader lookup finishes with the loader it picked up.
+func (s *Server) SetLoader(l Loader) { s.loader.Store(&l) }
 
 // Publish atomically swaps in new serving state and returns its
 // generation. In-flight requests keep the snapshot they started with;
@@ -185,9 +191,14 @@ func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) u
 // the current snapshot's source file. Only one reload runs at a time
 // (ErrReloadBusy otherwise); queries are never blocked — they serve the
 // old snapshot until the atomic swap. If the loader returns no path
-// index, the current snapshot's path index is carried over.
+// index, the current snapshot's path index is carried over only when
+// the reload re-reads the same source file and the vertex counts still
+// match — a path index validated against a different artifact would
+// panic or answer paths from the wrong graph. Otherwise the new
+// snapshot has no path index and /path answers 404.
 func (s *Server) Reload(path string) (uint64, error) {
-	if s.loader == nil {
+	lp := s.loader.Load()
+	if lp == nil || *lp == nil {
 		return 0, ErrNoLoader
 	}
 	if !s.reloadMu.TryLock() {
@@ -202,12 +213,13 @@ func (s *Server) Reload(path string) (uint64, error) {
 	if path == "" {
 		return 0, fmt.Errorf("server: no index path to reload (served index was built in memory)")
 	}
-	idx, pidx, err := s.loader(path)
+	idx, pidx, err := (*lp)(path)
 	if err != nil {
 		return 0, fmt.Errorf("server: reloading %s: %w", path, err)
 	}
 	if pidx == nil {
-		if sn := s.snap.Load(); sn != nil {
+		if sn := s.snap.Load(); sn != nil && sn.pidx != nil &&
+			path == sn.source && sn.pidx.NumVertices() == idx.NumVertices() {
 			pidx = sn.pidx
 		}
 	}
@@ -467,6 +479,10 @@ func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Reques
 	})
 }
 
+// maxReloadBytes bounds the /reload request body (a single file path)
+// before JSON decoding starts.
+const maxReloadBytes = 1 << 20
+
 // reloadRequest / reloadResponse are the /reload wire types.
 type reloadRequest struct {
 	Path string `json:"path"`
@@ -485,8 +501,16 @@ type reloadResponse struct {
 // request's goroutine; every other request keeps serving the old
 // snapshot until the swap.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	// A reload body is one path; anything near the cap is garbage.
+	r.Body = http.MaxBytesReader(w, r.Body, maxReloadBytes)
 	var req reloadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxReloadBytes))
+			return
+		}
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
