@@ -1,0 +1,82 @@
+// parapll-vet is the repo's multichecker: it runs the custom analyzer
+// suite in internal/analysis over the module and exits non-zero if any
+// finding survives suppression. It is wired into scripts/check.sh and
+// CI, so a violated invariant is a red build, not a code-review note.
+//
+// Usage:
+//
+//	parapll-vet [-only mmapkeepalive,infguard] [-list] [packages...]
+//
+// Packages default to ./... relative to the current directory. Findings
+// print one per line as file:line:col: analyzer: message. Suppress an
+// individual finding with a comment on the offending line or the line
+// above it:
+//
+//	//parapll:vet-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parapll/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	dir := flag.String("dir", ".", "module directory to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: parapll-vet [-only names] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "parapll-vet: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := analysis.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parapll-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parapll-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "parapll-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Package analysis is the repo's custom static-analysis suite: a small,
+// dependency-free framework in the mold of golang.org/x/tools/go/analysis
+// (which this module deliberately does not depend on) plus the four
+// analyzers that turn the repo's convention-documented invariants into
+// machine-checked ones:
+//
+//   - mmapkeepalive: every reader of a finalizer-managed mmap array must
+//     pin the owning index with runtime.KeepAlive after its last
+//     dereference (the PR-3 use-after-munmap class).
+//   - atomicfield: a field or slice accessed through sync/atomic anywhere
+//     must be accessed through sync/atomic everywhere, and structs
+//     embedding typed atomics must not be copied by value.
+//   - lockedblocking: no channel operations, mpi collectives or Waits
+//     while a sync.Mutex/RWMutex is held in the cluster/mpi/task packages
+//     (the cluster deadlock class).
+//   - infguard: a decoded distance must be bounds-checked against
+//     graph.Inf before being stored into a label structure (the hostile
+//     wire-frame class).
+//
+// cmd/parapll-vet is the multichecker driver; analysistest provides
+// golden-file testing for individual analyzers.
+//
+// Findings can be suppressed with a comment on the offending line or the
+// line above it:
+//
+//	//parapll:vet-ignore <analyzer> <reason>
+//
+// The reason is mandatory; a vet-ignore without one is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and vet-ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one raw finding before position resolution.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is one resolved, post-suppression finding.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{MmapKeepAlive, AtomicField, LockedBlocking, InfGuard}
+}
+
+// ignoreDirective is the comment prefix that suppresses a finding on its
+// own line or the line directly below.
+const ignoreDirective = "//parapll:vet-ignore"
+
+// ignoreKey identifies one suppressed (file, line, analyzer) cell.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans a package's comments for vet-ignore directives.
+// Malformed directives (missing analyzer or reason) are reported as
+// findings so a suppression can never silently mean nothing.
+func collectIgnores(pkg *Package, malformed *[]Finding) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					*malformed = append(*malformed, Finding{
+						Analyzer: "vet-ignore",
+						Pos:      pos,
+						Message:  "malformed directive: want //parapll:vet-ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ignores[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// RunAnalyzers runs every analyzer over every package and returns the
+// surviving findings sorted by position. Analyzer errors (not findings)
+// abort the run.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg, &findings)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores[ignoreKey{file: pos.Filename, line: pos.Line, analyzer: a.Name}] {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

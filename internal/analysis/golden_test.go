@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"parapll/internal/analysis"
+	"parapll/internal/analysis/analysistest"
+)
+
+func TestMmapKeepAlive(t *testing.T) {
+	analysistest.Run(t, "testdata/mmapkeepalive", analysis.MmapKeepAlive, "test/mmaptest")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata/atomicfield", analysis.AtomicField, "test/atomictest")
+}
+
+func TestLockedBlocking(t *testing.T) {
+	// The import path matters: lockedblocking is gated to the
+	// cluster/mpi/task trees.
+	analysistest.Run(t, "testdata/lockedblocking", analysis.LockedBlocking, "test/internal/cluster/locktest")
+}
+
+// TestLockedBlockingUngated loads the same corpus under a path outside
+// the gated trees and expects the analyzer to stay silent even though
+// the code is full of locked blocking operations.
+func TestLockedBlockingUngated(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/lockedblocking", "test/other/locktest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.LockedBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding outside gated packages: %s", f)
+	}
+}
+
+func TestInfGuard(t *testing.T) {
+	analysistest.Run(t, "testdata/infguard", analysis.InfGuard, "test/inftest")
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// InfGuard enforces the wire-decoding invariant from the cluster sync
+// and mmap-format hardening work: a distance decoded from bytes (a
+// varint frame, a little-endian record, a parsed text field) must be
+// bounds-checked against graph.Inf before it is converted to
+// graph.Dist and stored into a label structure. graph.Dist is uint32
+// and graph.Inf is its maximum value; a hostile or corrupt frame can
+// carry any 64-bit value, and an unchecked conversion silently
+// truncates — turning a garbage distance into a plausible small one
+// that poisons every query routed through the label.
+//
+// Taint: the results of the binary-encoding and strconv decoders
+// (binary.Uvarint, binary.ReadUvarint, binary.LittleEndian.Uint32/64,
+// binary.BigEndian.Uint32/64, strconv.Atoi/ParseInt/ParseUint/
+// ParseFloat) and arithmetic derived from them.
+//
+// Guard: a comparison of the tainted value against an expression
+// mentioning Inf, before the conversion in source order. Comparisons
+// with >= or < reject/admit Inf correctly; > and <= admit Inf itself
+// and are reported as off-by-one (Inf means "unreachable" and must
+// never enter a label as a finite distance).
+//
+// Report: any conversion to the Dist type whose operand is tainted and
+// unguarded — including a decoder call nested directly inside the
+// conversion, the worst form, since no guard can possibly intervene.
+var InfGuard = &Analyzer{
+	Name: "infguard",
+	Doc:  "decoded distances must be bounds-checked against graph.Inf before conversion to graph.Dist",
+	Run:  runInfGuard,
+}
+
+// isDecodeCall reports whether call produces raw decoded bytes-derived
+// integers, and which result indices are tainted.
+func isDecodeCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "encoding/binary":
+		switch fn.Name() {
+		case "Uvarint", "Varint", "ReadUvarint", "ReadVarint",
+			"Uint16", "Uint32", "Uint64":
+			return true
+		}
+	case "strconv":
+		switch fn.Name() {
+		case "Atoi", "ParseInt", "ParseUint", "ParseFloat":
+			return true
+		}
+	}
+	return false
+}
+
+// isDistConversion reports whether call converts its single operand to
+// the distance type (an identifier or selector resolving to a TypeName
+// named Dist — graph.Dist is an alias for uint32, so matching by the
+// declared name is the only way to distinguish a distance from any
+// other uint32).
+func isDistConversion(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	tn, ok := info.ObjectOf(id).(*types.TypeName)
+	return ok && tn.Name() == "Dist"
+}
+
+// mentionsInf reports whether e contains an identifier named Inf.
+func mentionsInf(info *types.Info, e ast.Expr) bool {
+	return mentionsIdent(info, e, "Inf")
+}
+
+func runInfGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkInfGuardFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkInfGuardFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	tainted := make(map[types.Object]bool)
+	guarded := make(map[types.Object]bool)
+
+	taintedExpr := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := info.ObjectOf(x); obj != nil && tainted[obj] && !guarded[obj] {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isDecodeCall(info, x) {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// rhsTaints reports whether assigning from r taints the target:
+	// either a decode call or arithmetic over already-tainted values.
+	rhsTaints := func(r ast.Expr) bool {
+		r = ast.Unparen(r)
+		if call, ok := r.(*ast.CallExpr); ok && isDecodeCall(info, call) {
+			return true
+		}
+		return taintedExpr(r)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// d, n := binary.Uvarint(buf): one call, several results —
+			// taint every target (the count result is harmless to taint;
+			// it is never converted to Dist).
+			if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+				if rhsTaints(x.Rhs[0]) {
+					for _, l := range x.Lhs {
+						if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+							if obj := info.ObjectOf(id); obj != nil {
+								tainted[obj] = true
+								delete(guarded, obj)
+							}
+						}
+					}
+				}
+				return true
+			}
+			for i, l := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if rhsTaints(x.Rhs[i]) {
+					tainted[obj] = true
+					delete(guarded, obj)
+				} else if x.Tok == token.ASSIGN || x.Tok == token.DEFINE {
+					// Overwritten with a clean value: taint is gone.
+					delete(tainted, obj)
+					delete(guarded, obj)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.GEQ, token.LSS, token.GTR, token.LEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			var val ast.Expr
+			switch {
+			case mentionsInf(info, x.Y):
+				val = x.X
+			case mentionsInf(info, x.X):
+				val = x.Y
+			default:
+				return true
+			}
+			marked := false
+			ast.Inspect(val, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+						guarded[obj] = true
+						marked = true
+					}
+				}
+				return true
+			})
+			if marked && (x.Op == token.GTR || x.Op == token.LEQ) {
+				pass.Reportf(x.OpPos,
+					"off-by-one bound: %s admits Inf itself (%s); use >= or < so Inf can never enter a label as a finite distance",
+					x.Op, types.ExprString(x))
+			}
+		case *ast.CallExpr:
+			if !isDistConversion(info, x) {
+				return true
+			}
+			arg := x.Args[0]
+			if taintedExpr(arg) {
+				pass.Reportf(x.Pos(),
+					"decoded value %s converted to Dist without a bounds check against Inf: a corrupt or hostile frame can smuggle a truncated garbage distance into the label",
+					types.ExprString(arg))
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockedBlocking flags blocking operations performed while a sync.Mutex
+// or sync.RWMutex is held, in the packages where that combination has
+// produced (or would produce) distributed deadlocks: internal/cluster,
+// internal/mpi and internal/task. A rank that blocks on a channel, an
+// MPI collective, a point-to-point exchange or a Wait while holding a
+// lock can deadlock against a peer that needs the same lock to make the
+// matching call — and unlike a local deadlock, the runtime cannot
+// detect it because every rank still has runnable goroutines.
+//
+// Flagged while a lock is held:
+//   - channel sends and receives (including range-over-channel)
+//   - select statements without a default clause
+//   - MPI collectives and point-to-point calls (Barrier, Bcast, Gather,
+//     Allgather, AllreduceInt64, IAllgather, Send, Recv) on mpi types
+//   - Wait calls (sync.WaitGroup, mpi.Request, exec.Cmd, ...)
+//
+// sync.Cond.Wait is exempt: it releases the associated lock while
+// blocked, which is exactly the correct pattern. Select statements with
+// a default clause and channel operations inside them are exempt: they
+// cannot block.
+//
+// The lock tracking is lexical (source order, flow-insensitive): a
+// Lock/RLock call marks the mutex held until the matching
+// Unlock/RUnlock in the same function; a deferred unlock holds it to
+// the end. Function literals start with no locks held — a goroutine or
+// callback does not inherit the creating goroutine's critical section.
+var LockedBlocking = &Analyzer{
+	Name: "lockedblocking",
+	Doc:  "no channel ops, mpi calls or Waits while holding a sync.Mutex/RWMutex in cluster/mpi/task packages",
+	Run:  runLockedBlocking,
+}
+
+// lockedBlockingPackages gates the analyzer to the deadlock-prone tree.
+var lockedBlockingPackages = []string{"internal/cluster", "internal/mpi", "internal/task"}
+
+// mpiBlockingCalls are the method names treated as synchronous MPI
+// traffic when invoked on an mpi-declared type.
+var mpiBlockingCalls = map[string]bool{
+	"Barrier": true, "Bcast": true, "Gather": true, "Allgather": true,
+	"AllreduceInt64": true, "IAllgather": true, "Send": true, "Recv": true,
+}
+
+func lockedBlockingApplies(pkgPath string) bool {
+	for _, p := range lockedBlockingPackages {
+		if strings.Contains(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// heldLock records where a mutex was acquired.
+type heldLock struct {
+	name string
+	pos  token.Pos
+}
+
+// lockWalker carries the lexical lock state through one function body.
+type lockWalker struct {
+	pass *Pass
+	held map[types.Object]heldLock
+}
+
+func runLockedBlocking(pass *Pass) error {
+	if !lockedBlockingApplies(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, held: make(map[types.Object]heldLock)}
+			w.block(fd.Body)
+		}
+	}
+	return nil
+}
+
+// isSyncMutex reports whether t (through one pointer) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isSyncCond reports whether t (through one pointer) is sync.Cond.
+func isSyncCond(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Cond"
+}
+
+// mutexReceiver matches calls of the form mu.Lock()/mu.RLock()/
+// mu.Unlock()/mu.RUnlock() on a sync mutex, returning the mutex's root
+// object and the method name.
+func (w *lockWalker) mutexReceiver(call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	if tv, ok := w.pass.Info.Types[sel.X]; !ok || !isSyncMutex(tv.Type) {
+		return nil, "", false
+	}
+	// The held-set key is the receiver's root object, so s.mu and a local
+	// alias of s both track the same field coarsely. Good enough: the
+	// repo locks mutexes through one selector level.
+	obj := rootObject(w.pass.Info, sel.X)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, sel.Sel.Name, true
+}
+
+// anyHeld returns one currently held lock, if any.
+func (w *lockWalker) anyHeld() (heldLock, bool) {
+	var best heldLock
+	found := false
+	for _, h := range w.held {
+		if !found || h.pos < best.pos {
+			best = h
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (w *lockWalker) reportBlocked(pos token.Pos, op string) {
+	h, ok := w.anyHeld()
+	if !ok {
+		return
+	}
+	w.pass.Reportf(pos, "%s while holding %s (locked at %s): a peer needing the lock cannot make the matching call",
+		op, h.name, w.pass.Fset.Position(h.pos))
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(x)
+	case *ast.ExprStmt:
+		w.expr(x.X)
+	case *ast.SendStmt:
+		w.reportBlocked(x.Pos(), "channel send")
+		w.expr(x.Chan)
+		w.expr(x.Value)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.expr(e)
+		}
+		for _, e := range x.Lhs {
+			w.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(x.Init)
+		w.expr(x.Cond)
+		w.block(x.Body)
+		w.stmt(x.Else)
+	case *ast.ForStmt:
+		w.stmt(x.Init)
+		if x.Cond != nil {
+			w.expr(x.Cond)
+		}
+		w.stmt(x.Post)
+		w.block(x.Body)
+	case *ast.RangeStmt:
+		if tv, ok := w.pass.Info.Types[x.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.reportBlocked(x.X.Pos(), "channel receive (range)")
+			}
+		}
+		w.expr(x.X)
+		w.block(x.Body)
+	case *ast.SwitchStmt:
+		w.stmt(x.Init)
+		if x.Tag != nil {
+			w.expr(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.expr(e)
+				}
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(x.Init)
+		w.stmt(x.Assign)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.reportBlocked(x.Pos(), "select without default")
+		}
+		// The comm clauses themselves are covered by the select-level
+		// report (or exempt, with a default); only walk the bodies.
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, st := range cc.Body {
+					w.stmt(st)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs outside this critical section; its literal
+		// body starts lock-free. Arguments are evaluated here, though.
+		for _, arg := range x.Call.Args {
+			w.expr(arg)
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function; the deferred call itself runs after every statement
+		// we would flag, so its body is not walked for blocking ops.
+		if obj, name, ok := w.mutexReceiver(x.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			_ = obj // held until function end: no state change
+			return
+		}
+		if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			w.funcLit(lit)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.expr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	case *ast.IncDecStmt:
+		w.expr(x.X)
+	}
+}
+
+// expr walks an expression in evaluation order, updating lock state for
+// mutex calls and reporting blocking operations.
+func (w *lockWalker) expr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			w.funcLit(x)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.reportBlocked(x.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.call(x)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) call(call *ast.CallExpr) {
+	if obj, name, ok := w.mutexReceiver(call); ok {
+		switch name {
+		case "Lock", "RLock":
+			label := obj.Name()
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				label = types.ExprString(sel.X)
+			}
+			w.held[obj] = heldLock{name: label, pos: call.Pos()}
+		case "Unlock", "RUnlock":
+			delete(w.held, obj)
+		}
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	recvType := types.Type(nil)
+	if tv, ok := w.pass.Info.Types[sel.X]; ok {
+		recvType = tv.Type
+	}
+	if name == "Wait" {
+		if isSyncCond(recvType) {
+			return // Cond.Wait releases the lock: the sanctioned pattern
+		}
+		w.reportBlocked(call.Pos(), "Wait call "+types.ExprString(call.Fun))
+		return
+	}
+	if mpiBlockingCalls[name] && isMpiCarrier(w.pass.Info, sel) {
+		w.reportBlocked(call.Pos(), "mpi call "+types.ExprString(call.Fun))
+	}
+}
+
+// isMpiCarrier reports whether the method selection is on a type that
+// carries MPI traffic: declared in an mpi package, or one of the
+// conventional World/Comm/Request names.
+func isMpiCarrier(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, _ := info.ObjectOf(sel.Sel).(*types.Func)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && strings.Contains(fn.Pkg().Path(), "mpi") {
+		return true
+	}
+	if named := receiverNamed(fn); named != nil {
+		switch named.Obj().Name() {
+		case "World", "Comm", "Request":
+			return true
+		}
+	}
+	return false
+}
+
+// funcLit walks a nested function literal with a fresh (empty) lock
+// state: the literal runs in its own activation, possibly on another
+// goroutine, and does not inherit this critical section.
+func (w *lockWalker) funcLit(lit *ast.FuncLit) {
+	inner := &lockWalker{pass: w.pass, held: make(map[types.Object]heldLock)}
+	inner.block(lit.Body)
+}

@@ -1,0 +1,70 @@
+// Package inftest is the infguard golden-test corpus: a stand-in for
+// the graph package's Dist/Inf pair plus wire decoders in every state
+// of (in)correctness.
+package inftest
+
+import (
+	"encoding/binary"
+	"errors"
+	"strconv"
+)
+
+type Dist = uint32
+
+const Inf = ^Dist(0)
+
+var errOverflow = errors.New("distance overflow")
+
+func decodeGuardedOK(buf []byte) (Dist, error) {
+	d, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, errOverflow
+	}
+	if d >= uint64(Inf) {
+		return 0, errOverflow
+	}
+	return Dist(d), nil
+}
+
+func decodeUnguardedBad(buf []byte) Dist {
+	d, _ := binary.Uvarint(buf)
+	return Dist(d) // want `converted to Dist without a bounds check against Inf`
+}
+
+func decodeInlineBad(buf []byte) Dist {
+	return Dist(binary.LittleEndian.Uint32(buf)) // want `converted to Dist without a bounds check against Inf`
+}
+
+func decodeOffByOneBad(buf []byte) (Dist, error) {
+	d, err := strconv.ParseUint(string(buf), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if d > uint64(Inf) { // want `off-by-one bound: > admits Inf itself`
+		return 0, errOverflow
+	}
+	return Dist(d), nil
+}
+
+func guardedAcceptOK(buf []byte, out []Dist) {
+	v := binary.LittleEndian.Uint32(buf)
+	if v < uint32(Inf) {
+		out[0] = Dist(v)
+	}
+}
+
+func derivedTaintBad(buf []byte) Dist {
+	d, _ := binary.Uvarint(buf)
+	sum := d + 1
+	return Dist(sum) // want `converted to Dist without a bounds check against Inf`
+}
+
+func notDecodedOK(i int) Dist {
+	return Dist(i)
+}
+
+func ignoredOK(buf []byte) Dist {
+	d, _ := binary.Uvarint(buf)
+	//parapll:vet-ignore infguard trusted local checkpoint written by this process
+	return Dist(d)
+}

@@ -1,0 +1,98 @@
+// Package mmaptest is the mmapkeepalive golden-test corpus: a stand-in
+// for label.Index with the structural owner signature (off/hubs/dists
+// slices plus the mm mapping field).
+package mmaptest
+
+import "runtime"
+
+type Vertex = int32
+type Dist = uint32
+
+type mapping struct{ data []byte }
+
+type Index struct {
+	off   []int64
+	hubs  []Vertex
+	dists []Dist
+	mm    *mapping
+}
+
+// Label returns aliases into the mapping; the deref of off is pinned.
+func (x *Index) Label(v Vertex) ([]Vertex, []Dist) {
+	defer runtime.KeepAlive(x)
+	lo, hi := x.off[v], x.off[v+1]
+	return x.hubs[lo:hi], x.dists[lo:hi]
+}
+
+// heapIndex has the array fields but no mm: always heap-backed, exempt.
+type heapIndex struct {
+	off   []int64
+	hubs  []Vertex
+	dists []Dist
+}
+
+func heapOK(h *heapIndex) Dist {
+	return h.dists[0]
+}
+
+func deferOK(x *Index) Dist {
+	defer runtime.KeepAlive(x)
+	return x.dists[0]
+}
+
+func pinAfterOK(x *Index) int64 {
+	var s int64
+	for i := 0; i < len(x.off); i++ {
+		s += x.off[i]
+	}
+	runtime.KeepAlive(x)
+	return s
+}
+
+func lenOnlyOK(x *Index) int {
+	return len(x.off) + cap(x.dists) // slice headers only: no pin needed
+}
+
+func freshOK() Dist {
+	x := &Index{off: []int64{0, 1}, hubs: []Vertex{0}, dists: []Dist{7}}
+	return x.dists[0] // just allocated: no finalizer can be registered yet
+}
+
+func directBad(x *Index) Dist {
+	return x.dists[0] // want `dereferences mmap-aliased x.dists without runtime.KeepAlive`
+}
+
+func aliasBad(x *Index) Vertex {
+	hubs := x.hubs
+	return hubs[0] // want `dereferences mmap-aliased hubs without runtime.KeepAlive\(x\)`
+}
+
+func labelAliasBad(x *Index, v Vertex) Dist {
+	_, dists := x.Label(v)
+	var s Dist
+	for _, d := range dists { // want `dereferences mmap-aliased dists without runtime.KeepAlive\(x\)`
+		s += d
+	}
+	return s
+}
+
+func labelAliasOK(x *Index, v Vertex) Dist {
+	defer runtime.KeepAlive(x)
+	_, dists := x.Label(v)
+	var s Dist
+	for _, d := range dists {
+		s += d
+	}
+	return s
+}
+
+func wrongOrderBad(x *Index) Dist {
+	d := x.dists[0]
+	runtime.KeepAlive(x)
+	return d + x.dists[1] // want `does not cover the exit`
+}
+
+func ignoredOK(x *Index) Dist {
+	//parapll:vet-ignore mmapkeepalive caller pins the index for the full call
+	return x.dists[0]
+}

@@ -81,6 +81,7 @@ func dedupSorted(snap []label.Entry) []label.Entry {
 	lists := [][]label.Entry{snap}
 	// Reuse the canonical finalizer for a single row.
 	idx := label.NewIndexFromLists(lists)
+	defer runtime.KeepAlive(idx)
 	hubs, dists := idx.Label(0)
 	out := make([]label.Entry, len(hubs))
 	for i := range hubs {

@@ -20,6 +20,7 @@ package dynamic
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"parapll/internal/graph"
@@ -51,6 +52,7 @@ type Index struct {
 // serial weighted PLL (opt as in pll.Build).
 func Build(g *graph.Graph, opt pll.Options) *Index {
 	idx := pll.Build(g, opt)
+	defer runtime.KeepAlive(idx)
 	n := g.NumVertices()
 	x := &Index{
 		base:  g,

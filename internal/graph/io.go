@@ -242,7 +242,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, err
 		}
 		g.adj[i] = Vertex(binary.LittleEndian.Uint32(buf[0:4]))
-		g.wt[i] = Dist(binary.LittleEndian.Uint32(buf[4:8]))
+		wv := binary.LittleEndian.Uint32(buf[4:8])
+		if wv >= uint32(Inf) {
+			return nil, fmt.Errorf("graph: edge %d: weight overflow", i)
+		}
+		g.wt[i] = Dist(wv)
 	}
 	want := crc.Sum32()
 	if _, err := io.ReadFull(br, buf[0:4]); err != nil {

@@ -111,7 +111,7 @@ func ReadCompact(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
-			if d > uint64(graph.Inf) {
+			if d >= uint64(graph.Inf) {
 				return nil, fmt.Errorf("label: vertex %d: distance overflow", v)
 			}
 			x.hubs = append(x.hubs, graph.Vertex(hub))

@@ -1,0 +1,97 @@
+package label
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+func seedPIDMFiles(tb testing.TB) [][]byte {
+	lists := [][][]Entry{
+		{{}},
+		{{{Hub: 0, D: 0}}},
+		{
+			{{Hub: 0, D: 0}},
+			{{Hub: 0, D: 3}, {Hub: 1, D: 0}},
+			{{Hub: 0, D: 5}, {Hub: 2, D: 0}},
+		},
+	}
+	var files [][]byte
+	for _, l := range lists {
+		x := NewIndexFromLists(l)
+		var buf bytes.Buffer
+		if err := x.WriteMmap(&buf); err != nil {
+			tb.Fatalf("WriteMmap: %v", err)
+		}
+		files = append(files, buf.Bytes())
+	}
+	// Truncations and a bad magic: the parser's first hurdles.
+	if whole := files[len(files)-1]; len(whole) > 8 {
+		files = append(files, whole[:8], whole[:len(whole)-1])
+	}
+	files = append(files, []byte("PIDXnope"), []byte{})
+	return files
+}
+
+// FuzzOpenPIDM drives the PIDM header/section parser (the same
+// parsePIDM/checksumPIDM/slicePIDM pipeline Open runs against a mapped
+// file) with arbitrary bytes. It must never panic, and any file it
+// accepts must produce a structurally sound index: consistent label
+// rows and panic-free queries over every vertex.
+func FuzzOpenPIDM(f *testing.F) {
+	for _, data := range seedPIDMFiles(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := readPIDMStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		defer runtime.KeepAlive(x)
+		n := x.NumVertices()
+		if n < 0 {
+			t.Fatalf("accepted index with %d vertices", n)
+		}
+		if got := x.NumEntries(); got < 0 {
+			t.Fatalf("accepted index with %d entries", got)
+		}
+		for v := 0; v < n; v++ {
+			hubs, dists := x.Label(graph.Vertex(v))
+			if len(hubs) != len(dists) {
+				t.Fatalf("vertex %d: %d hubs vs %d dists", v, len(hubs), len(dists))
+			}
+		}
+		if n > 0 {
+			// Self-distance must be finite-or-Inf without panicking, and
+			// symmetric queries must agree on the shared label set.
+			_ = x.Query(0, graph.Vertex(n-1))
+			_ = x.Query(graph.Vertex(n-1), 0)
+		}
+	})
+}
+
+// TestRegenFuzzCorpus writes the seed PIDM files as go-fuzz corpus
+// files under testdata/fuzz/FuzzOpenPIDM. It is a no-op unless
+// PARAPLL_REGEN_CORPUS=1, so the checked-in corpus stays reproducible
+// from the writer instead of being hand-maintained hex.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("PARAPLL_REGEN_CORPUS") != "1" {
+		t.Skip("set PARAPLL_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzOpenPIDM")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range seedPIDMFiles(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		name := filepath.Join(dir, fmt.Sprintf("seed-pidm-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

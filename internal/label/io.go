@@ -97,7 +97,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, err
 		}
 		x.hubs[i] = graph.Vertex(binary.LittleEndian.Uint32(buf[0:4]))
-		x.dists[i] = graph.Dist(binary.LittleEndian.Uint32(buf[4:8]))
+		dv := binary.LittleEndian.Uint32(buf[4:8])
+		if dv >= uint32(graph.Inf) {
+			return nil, fmt.Errorf("label: entry %d: distance overflow", i)
+		}
+		x.dists[i] = graph.Dist(dv)
 	}
 	want := crc.Sum32()
 	if _, err := io.ReadFull(br, buf[0:4]); err != nil {

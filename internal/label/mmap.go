@@ -281,7 +281,11 @@ func slicePIDM(data []byte, h pidmHeader) (x *Index, aliased bool, err error) {
 		x.dists = make([]graph.Dist, h.total)
 		for i := int64(0); i < h.total; i++ {
 			x.hubs[i] = graph.Vertex(binary.LittleEndian.Uint32(data[h.hubsSec+uint64(i)*4:]))
-			x.dists[i] = graph.Dist(binary.LittleEndian.Uint32(data[h.distsSec+uint64(i)*4:]))
+			dv := binary.LittleEndian.Uint32(data[h.distsSec+uint64(i)*4:])
+			if dv >= uint32(graph.Inf) {
+				return nil, false, fmt.Errorf("label: pidm: entry %d: distance overflow", i)
+			}
+			x.dists[i] = graph.Dist(dv)
 		}
 	}
 	if x.off[0] != 0 || x.off[h.n] != h.total {

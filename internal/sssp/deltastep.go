@@ -27,6 +27,7 @@ func DeltaStepping(g *graph.Graph, s graph.Vertex, delta graph.Dist, workers int
 	n := g.NumVertices()
 	dist := make([]uint32, n)
 	for i := range dist {
+		//parapll:vet-ignore atomicfield freshly allocated, not yet shared with workers
 		dist[i] = uint32(graph.Inf)
 	}
 	atomic.StoreUint32(&dist[s], 0)
@@ -142,7 +143,7 @@ func DeltaStepping(g *graph.Graph, s graph.Vertex, delta graph.Dist, workers int
 
 	out := make([]graph.Dist, n)
 	for i := range out {
-		out[i] = graph.Dist(dist[i])
+		out[i] = graph.Dist(atomic.LoadUint32(&dist[i]))
 	}
 	return out
 }

@@ -1,10 +1,18 @@
 #!/bin/sh
 # Repo-wide checks: the tier-1 command (build + full tests) plus static
-# vetting and a race-detector pass over the short suite. Run before
-# every PR:
+# vetting (go vet and the custom parapll-vet suite), a race-detector
+# pass over the short suite, a fuzz smoke on the wire decoders, and a
+# cross-compile sweep. Run before every PR:
 #   scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
+
+# Fail loudly, not with a cryptic "not found" mid-run, when the
+# toolchain is missing from PATH.
+if ! command -v go >/dev/null 2>&1; then
+    echo "check.sh: FATAL: 'go' not found in PATH; install Go or add it to PATH" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -12,20 +20,45 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== parapll-vet ./... (custom analyzers)"
+go run ./cmd/parapll-vet ./...
+
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
 echo "== go test ./... (tier-1)"
 go test ./...
 
+# Fuzz smoke: a few seconds on each wire decoder keeps the targets
+# compiling and catches shallow regressions; long runs stay manual
+# (go test -fuzz=... -fuzztime=10m ./internal/...).
+FUZZTIME="${FUZZTIME:-5s}"
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -fuzz=FuzzDecodeFrame -fuzztime="$FUZZTIME" -run '^$' ./internal/cluster/
+go test -fuzz=FuzzOpenPIDM -fuzztime="$FUZZTIME" -run '^$' ./internal/label/
+
 # Cross-compile smoke: the mmap open path is split by build tags
 # (//go:build unix vs the pure-read fallback), so compile the tree for a
 # non-linux unix, for windows (the fallback) and for another
-# architecture to catch tag or unsafe-arithmetic breakage early.
-echo "== cross-compile smoke (darwin, windows, linux/arm64)"
-GOOS=darwin GOARCH=arm64 go build ./...
-GOOS=windows GOARCH=amd64 go build ./...
-GOOS=linux GOARCH=arm64 go build ./...
+# architecture to catch tag or unsafe-arithmetic breakage early. Every
+# target is attempted; any failure fails the script at the end, with a
+# per-target status line instead of stopping at the first.
+echo "== cross-compile smoke (darwin/arm64, windows/amd64, linux/arm64)"
+cross_failed=0
+for target in darwin/arm64 windows/amd64 linux/arm64; do
+    os=${target%/*}
+    arch=${target#*/}
+    if GOOS="$os" GOARCH="$arch" go build ./... ; then
+        echo "   $target: ok"
+    else
+        echo "   $target: FAILED" >&2
+        cross_failed=1
+    fi
+done
+if [ "$cross_failed" -ne 0 ]; then
+    echo "check.sh: cross-compile smoke failed (see targets above)" >&2
+    exit 1
+fi
 
 # Opt-in: sync-pipeline benchmark (writes BENCH_sync.json). Slowish, so
 # off by default; enable with SYNC_BENCH=1 scripts/check.sh
