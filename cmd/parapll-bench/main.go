@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,load,all")
+		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,load,trace,all")
 		scale    = flag.Float64("scale", 0.02, "dataset scale in (0,1]; 1.0 = paper-scale (slow!)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 		threads  = flag.String("threads", "1,2,4,6,8,10,12", "thread sweep for tables 3-4")
@@ -56,6 +56,7 @@ func main() {
 	}
 	var syncResults []bench.SyncResult
 	var loadResults []bench.LoadResult
+	var traceResults []bench.TraceResult
 	all := []runner{
 		{"table3", func() (*bench.Table, error) { return bench.RunTable3(cfg) }},
 		{"table4", func() (*bench.Table, error) { return bench.RunTable4(cfg) }},
@@ -79,6 +80,14 @@ func main() {
 				return nil, err
 			}
 			loadResults = append(loadResults, results...)
+			return table, nil
+		}},
+		{"trace", func() (*bench.Table, error) {
+			table, results, err := bench.RunTrace(cfg, maxOf(cfg.Threads))
+			if err != nil {
+				return nil, err
+			}
+			traceResults = append(traceResults, results...)
 			return table, nil
 		}},
 	}
@@ -121,29 +130,38 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if len(syncResults) == 0 && len(loadResults) == 0 {
-			fatalf("-json requires the sync or load experiment (-exp sync, -exp load or -exp all)")
+		if len(syncResults) == 0 && len(loadResults) == 0 && len(traceResults) == 0 {
+			fatalf("-json requires the sync, load or trace experiment (-exp sync, -exp load, -exp trace or -exp all)")
 		}
 		jf, err := os.Create(*jsonPath)
 		if err != nil {
 			fatalf("creating %s: %v", *jsonPath, err)
 		}
 		defer jf.Close()
-		// Sync-only runs keep the legacy BENCH_sync.json shape (a bare
-		// array) so existing tooling keeps parsing; anything involving
-		// load results gets a keyed object.
+		// Single-experiment runs keep their legacy BENCH_<exp>.json shape
+		// (a bare array) so existing tooling keeps parsing; mixed runs get
+		// a keyed object.
 		switch {
-		case len(loadResults) == 0:
+		case len(loadResults) == 0 && len(traceResults) == 0:
 			err = bench.WriteSyncJSON(jf, syncResults)
-		case len(syncResults) == 0:
+		case len(syncResults) == 0 && len(traceResults) == 0:
 			err = bench.WriteLoadJSON(jf, loadResults)
+		case len(syncResults) == 0 && len(loadResults) == 0:
+			err = bench.WriteTraceJSON(jf, traceResults)
 		default:
 			enc := json.NewEncoder(jf)
 			enc.SetIndent("", "  ")
-			err = enc.Encode(map[string]any{
-				"sync": syncResults,
-				"load": loadResults,
-			})
+			out := map[string]any{}
+			if len(syncResults) > 0 {
+				out["sync"] = syncResults
+			}
+			if len(loadResults) > 0 {
+				out["load"] = loadResults
+			}
+			if len(traceResults) > 0 {
+				out["trace"] = traceResults
+			}
+			err = enc.Encode(out)
 		}
 		if err != nil {
 			fatalf("json: %v", err)

@@ -7,6 +7,8 @@
 //	parapll-index -graph data/skitter.bin -out skitter.idx -threads 12 -policy dynamic
 //	parapll-index -graph g.txt -out g.idx -serial
 //	parapll-index -graph g.bin -out g.idx -format mmap    # zero-copy serving format
+//	parapll-index -graph g.bin -out g.idx -v              # live roots/s + ETA
+//	parapll-index -graph g.bin -out g.idx -trace t.json   # build timeline (Perfetto)
 package main
 
 import (
@@ -28,10 +30,15 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "seed for psi/random ordering")
 		serial    = flag.Bool("serial", false, "use the serial weighted PLL baseline")
 		format    = flag.String("format", "auto", "index file format: fixed, compact, mmap, or auto (by -out extension)")
+		verbose   = flag.Bool("v", false, "report live progress (roots/sec, ETA) every 2s on stderr")
+		tracePath = flag.String("trace", "", "record a build timeline and write Chrome trace-event JSON here (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *out == "" {
 		fatalf("need -graph and -out")
+	}
+	if *serial && *tracePath != "" {
+		fatalf("-trace instruments the parallel engine; drop -serial")
 	}
 	switch *format {
 	case "auto", parapll.FormatFixed, parapll.FormatCompact, parapll.FormatMmap:
@@ -63,14 +70,37 @@ func main() {
 		fatalf("unknown order %q", *ordering)
 	}
 
+	var tr *parapll.Tracer
+	if *tracePath != "" {
+		tr = parapll.NewTracer(0, 0)
+		tr.Enable()
+		opt.Tracer = tr
+	}
+
 	t0 := time.Now()
+	var stopLog func()
+	if *verbose && !*serial {
+		prog := &parapll.BuildProgress{}
+		opt.Progress = prog
+		stopLog = logProgress(prog, t0)
+	}
 	var idx *parapll.Index
 	if *serial {
 		idx = parapll.BuildSerial(g, opt)
 	} else {
 		idx = parapll.Build(g, opt)
 	}
+	if stopLog != nil {
+		stopLog()
+	}
 	elapsed := time.Since(t0)
+
+	if tr != nil {
+		if err := writeTrace(*tracePath, tr); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("trace: %d events (%d dropped) -> %s\n", len(tr.Events()), tr.Drops(), *tracePath)
+	}
 
 	if *format == "auto" {
 		err = parapll.SaveIndex(*out, idx)
@@ -83,6 +113,51 @@ func main() {
 	fmt.Printf("indexed n=%d m=%d in %.2fs  (entries=%d, avg label size LN=%.1f) -> %s\n",
 		g.NumVertices(), g.NumEdges(), elapsed.Seconds(),
 		idx.NumEntries(), idx.AvgLabelSize(), *out)
+}
+
+// logProgress samples prog every 2s and prints roots done, roots/sec
+// and an ETA until the returned stop function is called. Quiet for fast
+// builds: nothing prints before the first tick.
+func logProgress(prog *parapll.BuildProgress, start time.Time) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := prog.Snapshot()
+				elapsed := time.Since(start)
+				line := fmt.Sprintf("indexing: %d/%d roots, %d labels, %.0f roots/s",
+					s.RootsDone, s.TotalRoots, s.LabelsAdded, s.Rate(elapsed))
+				if eta, ok := s.ETA(elapsed); ok {
+					line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// writeTrace dumps the recorded timeline as Chrome trace-event JSON.
+func writeTrace(path string, tr *parapll.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...interface{}) {

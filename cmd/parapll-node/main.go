@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strings"
 	"time"
 
 	"parapll"
@@ -43,6 +44,7 @@ func main() {
 		overlap   = flag.Bool("overlap", false, "overlap each sync's exchange+merge with the next segment's computation (must match on every rank)")
 		launch    = flag.Bool("launch", false, "spawn size-1 child ranks locally and run as rank 0")
 		verbose   = flag.Bool("v", false, "report per-round sync volume and transport totals")
+		tracePath = flag.String("trace", "", "record this rank's build timeline as Chrome trace-event JSON; rank r writes <path>.rank<r>.json (merge with parapll-trace)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -61,7 +63,7 @@ func main() {
 		if *rank != 0 {
 			fatalf("-launch implies rank 0")
 		}
-		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount, *overlap, *verbose); err != nil {
+		if err := launchChildren(*size, *rootAddr, *graphPath, *threads, *policy, *syncCount, *overlap, *verbose, *tracePath); err != nil {
 			fatalf("launching children: %v", err)
 		}
 	}
@@ -77,6 +79,12 @@ func main() {
 	defer comm.Close()
 	fmt.Fprintf(os.Stderr, "rank %d/%d up (graph n=%d m=%d)\n", *rank, *size, g.NumVertices(), g.NumEdges())
 
+	var tr *parapll.Tracer
+	if *tracePath != "" {
+		tr = parapll.NewTracer(*rank, 0)
+		tr.Enable()
+	}
+
 	t0 := time.Now()
 	idx, st, err := cluster.Build(g, cluster.Options{
 		Comm:      comm,
@@ -85,9 +93,22 @@ func main() {
 		Order:     order.Degree(g),
 		SyncCount: *syncCount,
 		Overlap:   *overlap,
+		Tracer:    tr,
 	})
 	if err != nil {
 		fatalf("indexing: %v", err)
+	}
+	if tr != nil {
+		rankPath := rankTracePath(*tracePath, *rank)
+		if err := writeTrace(rankPath, tr); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: trace (%d events, %d dropped) -> %s\n",
+			*rank, len(tr.Events()), tr.Drops(), rankPath)
+		if *rank == 0 && *size > 1 {
+			fmt.Fprintf(os.Stderr, "merge the cross-rank timeline with: parapll-trace merge -out %s %s\n",
+				*tracePath, rankTracePath(*tracePath, -1))
+		}
 	}
 	fmt.Printf("rank %d: indexed in %.2fs (comp %.2fs, comm %.2fs, %d local roots, sent %d bytes) LN=%.1f\n",
 		*rank, time.Since(t0).Seconds(), st.CompTime.Seconds(), st.CommTime.Seconds(),
@@ -123,7 +144,7 @@ func main() {
 // launchChildren starts ranks 1..size-1 as child processes of this binary
 // and returns immediately; the caller continues as rank 0. Children
 // inherit stdout/stderr.
-func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int, overlap, verbose bool) error {
+func launchChildren(size int, rootAddr, graphPath string, threads int, policy string, syncs int, overlap, verbose bool, tracePath string) error {
 	if size < 2 {
 		return nil
 	}
@@ -150,6 +171,9 @@ func launchChildren(size int, rootAddr, graphPath string, threads int, policy st
 		if verbose {
 			args = append(args, "-v")
 		}
+		if tracePath != "" {
+			args = append(args, "-trace", tracePath)
+		}
 		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -162,6 +186,29 @@ func launchChildren(size int, rootAddr, graphPath string, threads int, policy st
 		go cmd.Wait()
 	}
 	return nil
+}
+
+// rankTracePath derives rank r's trace filename from the shared -trace
+// path: base.rank<r>.json. r < 0 yields the matching shell glob.
+func rankTracePath(path string, r int) string {
+	base := strings.TrimSuffix(path, ".json")
+	if r < 0 {
+		return base + ".rank*.json"
+	}
+	return fmt.Sprintf("%s.rank%d.json", base, r)
+}
+
+// writeTrace dumps the recorded timeline as Chrome trace-event JSON.
+func writeTrace(path string, tr *parapll.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -19,10 +19,16 @@
 //
 // Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=
 // GET /knn?s=&k=   GET /stats   POST /reload   GET /readyz
-// GET /metrics   GET /healthz
+// GET /metrics (JSON, or Prometheus text under Accept: text/plain)
+// GET /healthz   GET /debug/slow   GET /debug/trace?sec=N
 // and, with -pprof, the standard net/http/pprof handlers under
 // /debug/pprof/ (opt-in: profiling endpoints leak internals and cost
 // CPU, so they stay off unless asked for).
+//
+// Observability flags: -slow-ms bounds the /debug/slow slow-query log;
+// -trace-sample N records a span for 1 in N requests; -trace FILE
+// writes the recorded timeline as Chrome trace-event JSON on
+// SIGINT/SIGTERM (and arms /debug/trace even with sampling off).
 package main
 
 import (
@@ -52,6 +58,9 @@ func main() {
 		threads   = flag.Int("threads", 0, "indexing threads (0 = all cores)")
 		paths     = flag.Bool("paths", false, "also build a path index and serve /path (needs -graph)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceOut  = flag.String("trace", "", "on SIGINT/SIGTERM, write the recorded request timeline here as Chrome trace-event JSON")
+		traceRate = flag.Int64("trace-sample", 0, "record request spans for 1 in N requests (0 = tracing off, 1 = every request); also arms GET /debug/trace")
+		slowMS    = flag.Int64("slow-ms", 100, "log requests slower than this to GET /debug/slow (0 disables)")
 	)
 	flag.Parse()
 	if *indexPath == "" && *graphPath == "" {
@@ -66,6 +75,39 @@ func main() {
 		idx, err := fileio.LoadIndex(path)
 		return idx, nil, err // nil pidx: a reload keeps the current path index
 	})
+	srv.SlowQueries().SetThreshold(time.Duration(*slowMS) * time.Millisecond)
+
+	var tr *parapll.Tracer
+	if *traceRate > 0 || *traceOut != "" {
+		tr = parapll.NewTracer(0, 0)
+		if *traceRate > 0 {
+			tr.SetSample(uint64(*traceRate))
+			tr.Enable()
+		}
+		// With only -trace, the tracer stays disabled until a
+		// GET /debug/trace capture turns it on for its window.
+		srv.SetTracer(tr)
+	}
+	if *traceOut != "" {
+		term := make(chan os.Signal, 1)
+		signal.Notify(term, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-term
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = tr.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parapll-server: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d events (%d dropped) -> %s\n", len(tr.Events()), tr.Drops(), *traceOut)
+			os.Exit(0)
+		}()
+	}
 
 	// Load or build off-thread so the listener (and /readyz, /healthz,
 	// /metrics) is up from the first moment.
@@ -133,7 +175,7 @@ func prepare(indexPath, graphPath string, paths bool, threads int) (*parapll.Ind
 		}
 		t0 := time.Now()
 		prog := &parapll.BuildProgress{}
-		stopLog := logProgress(prog)
+		stopLog := logProgress(prog, t0)
 		idx = parapll.Build(g, parapll.Options{Threads: threads, Policy: parapll.Dynamic, Progress: prog})
 		stopLog()
 		fmt.Printf("indexed %d vertices in %.2fs\n", g.NumVertices(), time.Since(t0).Seconds())
@@ -153,10 +195,11 @@ func prepare(indexPath, graphPath string, paths bool, threads int) (*parapll.Ind
 	return idx, pidx, source
 }
 
-// logProgress samples prog every 2s and prints a one-line status until
-// the returned stop function is called. Quiet for fast builds: nothing
-// is printed before the first tick.
-func logProgress(prog *parapll.BuildProgress) (stop func()) {
+// logProgress samples prog every 2s and prints a one-line status —
+// including the average root rate and an ETA — until the returned stop
+// function is called. Quiet for fast builds: nothing is printed before
+// the first tick.
+func logProgress(prog *parapll.BuildProgress, start time.Time) (stop func()) {
 	done := make(chan struct{})
 	finished := make(chan struct{})
 	go func() {
@@ -169,8 +212,13 @@ func logProgress(prog *parapll.BuildProgress) (stop func()) {
 				return
 			case <-tick.C:
 				s := prog.Snapshot()
-				fmt.Fprintf(os.Stderr, "indexing: %d/%d roots, %d labels, %d work ops\n",
-					s.RootsDone, s.TotalRoots, s.LabelsAdded, s.WorkOps)
+				elapsed := time.Since(start)
+				line := fmt.Sprintf("indexing: %d/%d roots, %d labels, %.0f roots/s",
+					s.RootsDone, s.TotalRoots, s.LabelsAdded, s.Rate(elapsed))
+				if eta, ok := s.ETA(elapsed); ok {
+					line += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 	}()

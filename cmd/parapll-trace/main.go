@@ -1,0 +1,92 @@
+// parapll-trace works with the Chrome trace-event JSON files the other
+// binaries record with their -trace flags.
+//
+// Usage:
+//
+//	parapll-trace merge -out merged.json build.rank0.json build.rank1.json ...
+//	parapll-trace check build.json
+//
+// merge aligns per-rank captures (each records its own wall-clock
+// epoch) onto one timeline and writes a single file whose process lanes
+// are the ranks and whose flow arrows are the label-sync frames —
+// open it in chrome://tracing or https://ui.perfetto.dev.
+//
+// check validates a capture without opening a browser: well-formed
+// traceEvents, known phases, per-lane monotonic timestamps — and prints
+// a one-line summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parapll/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "merge":
+		runMerge(os.Args[2:])
+	case "check":
+		runCheck(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "output file for the merged timeline")
+	fs.Parse(args)
+	if *out == "" || fs.NArg() == 0 {
+		fatalf("merge needs -out and at least one input trace")
+	}
+	if err := trace.MergeFiles(*out, fs.Args()); err != nil {
+		fatalf("%v", err)
+	}
+	data, err := os.ReadFile(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st, err := trace.CheckCapture(data)
+	if err != nil {
+		fatalf("merged file failed validation: %v", err)
+	}
+	fmt.Printf("merged %d captures -> %s (%d events: %d spans, %d flow edges, ranks %v, %d dropped)\n",
+		fs.NArg(), *out, st.Events, st.Spans, st.Flows, st.Pids, st.Drops)
+}
+
+func runCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("check takes exactly one trace file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st, err := trace.CheckCapture(data)
+	if err != nil {
+		fatalf("%s: %v", fs.Arg(0), err)
+	}
+	fmt.Printf("%s: ok (%d events: %d spans, %d flow edges, pids %v, %d dropped)\n",
+		fs.Arg(0), st.Events, st.Spans, st.Flows, st.Pids, st.Drops)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  parapll-trace merge -out merged.json rank0.json rank1.json ...
+  parapll-trace check trace.json
+`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "parapll-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

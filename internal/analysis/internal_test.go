@@ -13,6 +13,7 @@ func TestLockedBlockingApplies(t *testing.T) {
 		"parapll/internal/cluster": true,
 		"parapll/internal/mpi":     true,
 		"parapll/internal/task":    true,
+		"parapll/internal/trace":   true,
 		"parapll/internal/label":   false,
 		"parapll/internal/server":  false,
 		"test/internal/mpi/fake":   true,

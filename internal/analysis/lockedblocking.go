@@ -10,7 +10,7 @@ import (
 // LockedBlocking flags blocking operations performed while a sync.Mutex
 // or sync.RWMutex is held, in the packages where that combination has
 // produced (or would produce) distributed deadlocks: internal/cluster,
-// internal/mpi and internal/task. A rank that blocks on a channel, an
+// internal/mpi, internal/task and internal/trace. A rank that blocks on a channel, an
 // MPI collective, a point-to-point exchange or a Wait while holding a
 // lock can deadlock against a peer that needs the same lock to make the
 // matching call — and unlike a local deadlock, the runtime cannot
@@ -35,12 +35,12 @@ import (
 // callback does not inherit the creating goroutine's critical section.
 var LockedBlocking = &Analyzer{
 	Name: "lockedblocking",
-	Doc:  "no channel ops, mpi calls or Waits while holding a sync.Mutex/RWMutex in cluster/mpi/task packages",
+	Doc:  "no channel ops, mpi calls or Waits while holding a sync.Mutex/RWMutex in cluster/mpi/task/trace packages",
 	Run:  runLockedBlocking,
 }
 
 // lockedBlockingPackages gates the analyzer to the deadlock-prone tree.
-var lockedBlockingPackages = []string{"internal/cluster", "internal/mpi", "internal/task"}
+var lockedBlockingPackages = []string{"internal/cluster", "internal/mpi", "internal/task", "internal/trace"}
 
 // mpiBlockingCalls are the method names treated as synchronous MPI
 // traffic when invoked on an mpi-declared type.

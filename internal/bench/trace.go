@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"parapll/internal/core"
+	"parapll/internal/graph"
+	"parapll/internal/trace"
+)
+
+// TraceResult is one tracing-overhead measurement: the same parallel
+// build timed with no tracer, with a tracer present but disabled, and
+// with tracing fully on. The "disabled" row is the one the acceptance
+// bar cares about — instrumented code with tracing off must cost within
+// noise of uninstrumented code (a single atomic check per span site).
+type TraceResult struct {
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	// Mode is off (nil tracer), disabled (tracer present, not enabled)
+	// or enabled (recording).
+	Mode string `json:"mode"`
+	// BuildMillis is the best-of-reps wall time of the parallel build.
+	BuildMillis float64 `json:"build_ms"`
+	// OverheadPct is this mode's build time relative to off, in percent
+	// (0 for the off row itself; negative = within noise).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Events and Drops describe the enabled mode's recording volume.
+	Events int    `json:"events,omitempty"`
+	Drops  uint64 `json:"drops,omitempty"`
+}
+
+// traceReps is how many times each mode builds; the best time wins, so
+// a background hiccup cannot fake an overhead.
+const traceReps = 3
+
+// RunTrace measures the tracing instrumentation's overhead on the
+// parallel build across the configured datasets. Returns the rendered
+// table plus raw records for JSON output (BENCH_trace.json).
+func RunTrace(cfg Config, threads int) (*Table, []TraceResult, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Tracing overhead on the parallel build — disabled tracing must be free (one atomic check per site)",
+		Header: []string{"dataset", "n", "mode", "build_ms", "overhead_%", "events", "drops"},
+	}
+	var out []TraceResult
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		ord := graph.DegreeOrder(g)
+		build := func(tr *trace.Tracer) float64 {
+			best := 0.0
+			for rep := 0; rep < traceReps; rep++ {
+				t0 := time.Now()
+				core.Build(g, core.Options{Threads: threads, Policy: core.Dynamic, Order: ord, Tracer: tr})
+				ms := float64(time.Since(t0).Microseconds()) / 1e3
+				if rep == 0 || ms < best {
+					best = ms
+				}
+			}
+			return best
+		}
+
+		offMs := build(nil)
+		disabledMs := build(trace.New(0, 0))
+		enabledTr := trace.New(0, 0)
+		enabledTr.Enable()
+		enabledMs := build(enabledTr)
+
+		rows := []TraceResult{
+			{Dataset: rec.Name, Vertices: g.NumVertices(), Mode: "off", BuildMillis: offMs},
+			{Dataset: rec.Name, Vertices: g.NumVertices(), Mode: "disabled", BuildMillis: disabledMs,
+				OverheadPct: overheadPct(disabledMs, offMs)},
+			{Dataset: rec.Name, Vertices: g.NumVertices(), Mode: "enabled", BuildMillis: enabledMs,
+				OverheadPct: overheadPct(enabledMs, offMs),
+				Events:      len(enabledTr.Events()), Drops: enabledTr.Drops()},
+		}
+		out = append(out, rows...)
+		for _, r := range rows {
+			t.AddRow(
+				r.Dataset,
+				fmt.Sprint(r.Vertices),
+				r.Mode,
+				fmt.Sprintf("%.2f", r.BuildMillis),
+				fmt.Sprintf("%+.2f", r.OverheadPct),
+				fmt.Sprint(r.Events),
+				fmt.Sprint(r.Drops),
+			)
+		}
+	}
+	return t, out, nil
+}
+
+func overheadPct(ms, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return (ms - baseline) / baseline * 100
+}
+
+// WriteTraceJSON serializes trace-overhead results as indented JSON
+// (the BENCH_trace.json format).
+func WriteTraceJSON(w io.Writer, results []TraceResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -22,6 +22,7 @@ import (
 	"parapll/internal/label"
 	"parapll/internal/mpi"
 	"parapll/internal/task"
+	"parapll/internal/trace"
 )
 
 // Partition selects how the global computing sequence is divided among
@@ -91,6 +92,16 @@ type Options struct {
 	// still converge to identical indexes, at the cost of somewhat more
 	// redundant labels. Every rank must pass the same value.
 	Overlap bool
+	// Tracer, when non-nil and enabled, records this rank's timeline:
+	// per-root worker spans (via internal/core) plus per-round
+	// record/pack/exchange/merge spans and cross-rank comm flow events.
+	// Each rank needs its own tracer (its pid is the rank's process
+	// lane); see TracerFor for RunLocal.
+	Tracer *trace.Tracer
+	// TracerFor, when non-nil, supplies each simulated rank's tracer in
+	// RunLocal (which clones these Options per rank and cannot share one
+	// Tracer across ranks without mixing their lanes). Ignored by Build.
+	TracerFor func(rank int) *trace.Tracer
 }
 
 // partitionRoots returns the roots owned by `rank` out of `size` nodes
@@ -144,6 +155,18 @@ type RoundStats struct {
 	BytesReceived int64
 	// RawBytesReceived is the uncompressed size of the merged payload.
 	RawBytesReceived int64
+	// PackTime is wall time spent draining, sorting and packing this
+	// node's pending labels into the wire frame — the blocking prefix
+	// of a round, on the build goroutine.
+	PackTime time.Duration
+	// ExchangeTime is wall time from handing the frame to the allgather
+	// until every peer frame arrived. Unlike Stats.CommTime (the
+	// *exposed* cost), this is total transfer time: in overlapped mode
+	// it runs concurrently with the next segment's computation.
+	ExchangeTime time.Duration
+	// MergeTime is wall time decoding peer frames and merging them into
+	// the label store (background in overlapped mode).
+	MergeTime time.Duration
 }
 
 // Stats reports the time breakdown the paper plots in Figure 7 (c)(d).
@@ -230,6 +253,10 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 	}
 
 	st := &syncState{comm: opt.Comm, n: g.NumVertices(), shards: opt.Threads}
+	if opt.Tracer.Enabled() {
+		opt.Tracer.SetProcessName(fmt.Sprintf("rank %d", rank))
+		st.initTrace(opt.Tracer)
+	}
 
 	// Process the local list in c segments, synchronizing after each.
 	for seg := 0; seg < c; seg++ {
@@ -243,7 +270,12 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 				opt.Progress.AddRoots(int64(len(segRoots)))
 			}
 			mgr := newSegmentManager(segRoots, &opt)
-			for _, w := range core.RunWorkers(g, mgr, store, nil, opt.LazyHeap, opt.Progress) {
+			for _, w := range core.RunWorkers(g, mgr, store, core.RunConfig{
+				LazyHeap: opt.LazyHeap,
+				Progress: opt.Progress,
+				Tracer:   opt.Tracer,
+				Phase:    fmt.Sprintf("cluster-seg-%d", seg),
+			}) {
 				stats.WorkOps += w
 			}
 		}

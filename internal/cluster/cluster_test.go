@@ -256,11 +256,11 @@ func TestMergeUpdatesValidation(t *testing.T) {
 	if _, err := mergeFrame(store, []byte{1, 2, 3}, 4, 1); err == nil {
 		t.Fatal("garbage payload accepted")
 	}
-	bad := packUpdates(nil, []update{{v: 99, hub: 0, d: 1}})
+	bad := packUpdates(nil, []update{{v: 99, hub: 0, d: 1}}, frameHeader{})
 	if _, err := mergeFrame(store, bad, 4, 1); err == nil {
 		t.Fatal("out-of-range vertex accepted")
 	}
-	good := packUpdates(nil, []update{{v: 1, hub: 2, d: 7}, {v: 1, hub: 3, d: 8}, {v: 2, hub: 0, d: 9}})
+	good := packUpdates(nil, []update{{v: 1, hub: 2, d: 7}, {v: 1, hub: 3, d: 8}, {v: 2, hub: 0, d: 9}}, frameHeader{})
 	if n, err := mergeFrame(store, good, 4, 2); err != nil || n != 3 {
 		t.Fatalf("merge: n=%d err=%v", n, err)
 	}

@@ -36,6 +36,9 @@ func RunLocal(g *graph.Graph, nodes int, template Options) ([]*label.Index, []*S
 			defer wg.Done()
 			opt := template
 			opt.Comm = comms[r]
+			if template.TracerFor != nil {
+				opt.Tracer = template.TracerFor(r)
+			}
 			indexes[r], stats[r], errs[r] = Build(g, opt)
 		}(r)
 	}

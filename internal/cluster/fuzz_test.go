@@ -19,10 +19,16 @@ func seedFrames() [][]byte {
 		{{v: 0, hub: 1, d: 5}, {v: 0, hub: 3, d: 9}, {v: 2, hub: 0, d: 7}},
 		{{v: 63, hub: 62, d: 1 << 30}},
 	}
+	hdrs := []frameHeader{
+		{},
+		{rank: 1, round: 0, clock: 1},
+		{rank: 3, round: 7, clock: 1 << 40},
+		{rank: maxFrameWord, round: maxFrameWord, clock: ^uint64(0)},
+	}
 	var frames [][]byte
-	for _, list := range lists {
+	for i, list := range lists {
 		sortUpdates(list)
-		frames = append(frames, packUpdates(nil, list))
+		frames = append(frames, packUpdates(nil, list, hdrs[i%len(hdrs)]))
 	}
 	// Structurally broken variants: wrong version, bare header, empty.
 	frames = append(frames, []byte{}, []byte{99, 0}, []byte{syncFormatVersion})
@@ -40,9 +46,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(frame, fuzzFrameN)
 	}
 	f.Fuzz(func(t *testing.T, buf []byte, n int) {
-		list, err := decodeFrame(buf, n)
+		hdr, list, err := decodeFrame(buf, n)
 		if err != nil {
 			return
+		}
+		if hdr.rank < 0 || hdr.rank > maxFrameWord || hdr.round < 0 || hdr.round > maxFrameWord {
+			t.Fatalf("header words out of bounds: %+v", hdr)
 		}
 		prevV, prevHub := int64(-1), int64(-1)
 		for _, u := range list {
@@ -63,12 +72,16 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 			prevV, prevHub = int64(u.v), int64(u.hub)
 		}
-		// Canonical re-encoding must decode to the identical list (the
-		// raw bytes may differ: Uvarint accepts non-minimal varints).
-		re := packUpdates(nil, list)
-		back, err := decodeFrame(re, n)
+		// Canonical re-encoding must decode to the identical header and
+		// list (the raw bytes may differ: Uvarint accepts non-minimal
+		// varints).
+		re := packUpdates(nil, list, hdr)
+		backHdr, back, err := decodeFrame(re, n)
 		if err != nil {
 			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if backHdr != hdr {
+			t.Fatalf("round trip changed header: %+v != %+v", backHdr, hdr)
 		}
 		if len(back) != len(list) {
 			t.Fatalf("round trip changed length: %d != %d", len(back), len(list))

@@ -5,18 +5,23 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"parapll/internal/graph"
 	"parapll/internal/label"
 	"parapll/internal/mpi"
+	"parapll/internal/trace"
 )
 
-// Sync wire format (version 1). A frame carries one node's
+// Sync wire format (version 2). A frame carries one node's
 // pending-update list for one round, sorted by (vertex, hub) and
 // delta-encoded with uvarints — the same idiom as the compact on-disk
 // index format (label.WriteCompact), applied to the inter-node wire:
 //
-//	byte    version (1)
+//	byte    version (2)
+//	uvarint rank   (sender's rank — trace word)
+//	uvarint round  (0-based sync round — trace word)
+//	uvarint clock  (sender's logical clock at pack time — trace word)
 //	uvarint total update count U
 //	then groups, vertices strictly ascending:
 //	  uvarint vGap   = v - prevV - 1        (prevV starts at -1)
@@ -25,6 +30,13 @@ import (
 //	    uvarint hubGap = hub - prevHub - 1  (prevHub resets to -1 per group)
 //	    uvarint dist                        (must be < graph.Inf)
 //
+// The three header uvarints are the trace-context word: they cost 3
+// bytes per frame when tracing is off (all small), and they let the
+// receiver (a) verify the frame really came from the allgather slot it
+// arrived in and belongs to the current round, and (b) reconstruct the
+// sender's flow id so per-rank trace captures merge into one cross-rank
+// timeline with comm edges (internal/trace).
+//
 // Sorting makes consecutive updates share a vertex, so the gaps are
 // small (1–2 bytes each vs. the old fixed 12 bytes per update) and the
 // receiving side's BulkAppend grouping actually amortizes: one lock
@@ -32,7 +44,27 @@ import (
 //
 // (v, hub) pairs are unique within a node's whole build — each root is
 // processed exactly once — so both delta chains are strictly increasing.
-const syncFormatVersion = 1
+const syncFormatVersion = 2
+
+// maxFrameWord bounds the decoded rank and round header words: both
+// are small integers in any real deployment, so anything larger is a
+// corrupt frame, caught before the values reach slice indexing.
+const maxFrameWord = 1 << 20
+
+// frameHeader is the decoded trace-context word of one sync frame.
+type frameHeader struct {
+	rank  int    // sender's rank
+	round int    // 0-based sync round
+	clock uint64 // sender's logical clock at pack time
+}
+
+// flowID is the globally-unique id of one rank's frame in one round.
+// The sender stamps its pack span's flow start with it; every receiver
+// reconstructs it from the decoded header, so merged per-rank captures
+// pair each send with its receives (internal/trace flow events).
+func flowID(rank, round int) uint64 {
+	return uint64(rank)<<32 | uint64(uint32(round))
+}
 
 // bytesPerUpdate is the pre-compression wire cost of one update (the
 // old fixed-width format: three uint32s). Raw-byte accounting in
@@ -55,8 +87,11 @@ func sortUpdates(list []update) {
 // the varint append never reallocates after the first round; callers
 // must copy the result before handing it to a transport (transports own
 // sent buffers — the channel transport delivers them zero-copy).
-func packUpdates(dst []byte, list []update) []byte {
+func packUpdates(dst []byte, list []update, hdr frameHeader) []byte {
 	buf := append(dst[:0], syncFormatVersion)
+	buf = binary.AppendUvarint(buf, uint64(hdr.rank))
+	buf = binary.AppendUvarint(buf, uint64(hdr.round))
+	buf = binary.AppendUvarint(buf, hdr.clock)
 	buf = binary.AppendUvarint(buf, uint64(len(list)))
 	prevV := int64(-1)
 	for i := 0; i < len(list); {
@@ -80,84 +115,102 @@ func packUpdates(dst []byte, list []update) []byte {
 }
 
 // decodeFrame validates and decodes one sync frame from a peer for an
-// n-vertex graph. Every structural invariant is checked — truncation,
-// version, vertex/hub ranges, group counts, trailing bytes — and every
-// distance must be < graph.Inf: a corrupt or hostile frame must never
-// inject the unreachable sentinel (or an overflowing value) into
+// n-vertex graph, returning the trace-context header and the updates.
+// Every structural invariant is checked — truncation, version, header
+// word bounds, vertex/hub ranges, group counts, trailing bytes — and
+// every distance must be < graph.Inf: a corrupt or hostile frame must
+// never inject the unreachable sentinel (or an overflowing value) into
 // AddDist arithmetic. The returned list is sorted by (v, hub) by
 // construction.
-func decodeFrame(buf []byte, n int) ([]update, error) {
-	if len(buf) < 2 {
-		return nil, fmt.Errorf("cluster: sync frame truncated (%d bytes)", len(buf))
+func decodeFrame(buf []byte, n int) (frameHeader, []update, error) {
+	var hdr frameHeader
+	if len(buf) < 5 {
+		return hdr, nil, fmt.Errorf("cluster: sync frame truncated (%d bytes)", len(buf))
 	}
 	if buf[0] != syncFormatVersion {
-		return nil, fmt.Errorf("cluster: unknown sync frame version %d", buf[0])
+		return hdr, nil, fmt.Errorf("cluster: unknown sync frame version %d", buf[0])
 	}
 	o := 1
+	rank, k := binary.Uvarint(buf[o:])
+	if k <= 0 || rank > maxFrameWord {
+		return hdr, nil, fmt.Errorf("cluster: sync frame: bad rank word")
+	}
+	o += k
+	round, k := binary.Uvarint(buf[o:])
+	if k <= 0 || round > maxFrameWord {
+		return hdr, nil, fmt.Errorf("cluster: sync frame: bad round word")
+	}
+	o += k
+	clock, k := binary.Uvarint(buf[o:])
+	if k <= 0 {
+		return hdr, nil, fmt.Errorf("cluster: sync frame: bad clock word")
+	}
+	o += k
+	hdr = frameHeader{rank: int(rank), round: int(round), clock: clock}
 	total, k := binary.Uvarint(buf[o:])
 	if k <= 0 {
-		return nil, fmt.Errorf("cluster: sync frame: bad update count")
+		return hdr, nil, fmt.Errorf("cluster: sync frame: bad update count")
 	}
 	o += k
 	// Each update costs at least 2 encoded bytes, so a count claiming
 	// more is corrupt — and this bounds the allocation below.
 	if total > uint64(len(buf))/2 {
-		return nil, fmt.Errorf("cluster: sync frame claims %d updates in %d bytes", total, len(buf))
+		return hdr, nil, fmt.Errorf("cluster: sync frame claims %d updates in %d bytes", total, len(buf))
 	}
 	out := make([]update, 0, total)
 	prevV := int64(-1)
 	for uint64(len(out)) < total {
 		vGap, k := binary.Uvarint(buf[o:])
 		if k <= 0 {
-			return nil, fmt.Errorf("cluster: sync frame truncated in vertex gap")
+			return hdr, nil, fmt.Errorf("cluster: sync frame truncated in vertex gap")
 		}
 		o += k
 		if vGap >= uint64(n) {
-			return nil, fmt.Errorf("cluster: sync update vertex out of range (gap %d)", vGap)
+			return hdr, nil, fmt.Errorf("cluster: sync update vertex out of range (gap %d)", vGap)
 		}
 		v := prevV + 1 + int64(vGap)
 		if v >= int64(n) {
-			return nil, fmt.Errorf("cluster: sync update vertex %d out of range [0,%d)", v, n)
+			return hdr, nil, fmt.Errorf("cluster: sync update vertex %d out of range [0,%d)", v, n)
 		}
 		count, k := binary.Uvarint(buf[o:])
 		if k <= 0 {
-			return nil, fmt.Errorf("cluster: sync frame truncated in group count")
+			return hdr, nil, fmt.Errorf("cluster: sync frame truncated in group count")
 		}
 		o += k
 		if count == 0 || count > total-uint64(len(out)) {
-			return nil, fmt.Errorf("cluster: sync frame group count %d inconsistent with total %d", count, total)
+			return hdr, nil, fmt.Errorf("cluster: sync frame group count %d inconsistent with total %d", count, total)
 		}
 		prevHub := int64(-1)
 		for i := uint64(0); i < count; i++ {
 			hubGap, k := binary.Uvarint(buf[o:])
 			if k <= 0 {
-				return nil, fmt.Errorf("cluster: sync frame truncated in hub gap")
+				return hdr, nil, fmt.Errorf("cluster: sync frame truncated in hub gap")
 			}
 			o += k
 			if hubGap >= uint64(n) {
-				return nil, fmt.Errorf("cluster: sync update hub out of range (gap %d)", hubGap)
+				return hdr, nil, fmt.Errorf("cluster: sync update hub out of range (gap %d)", hubGap)
 			}
 			hub := prevHub + 1 + int64(hubGap)
 			if hub >= int64(n) {
-				return nil, fmt.Errorf("cluster: sync update hub %d out of range [0,%d)", hub, n)
+				return hdr, nil, fmt.Errorf("cluster: sync update hub %d out of range [0,%d)", hub, n)
 			}
 			prevHub = hub
 			d, k := binary.Uvarint(buf[o:])
 			if k <= 0 {
-				return nil, fmt.Errorf("cluster: sync frame truncated in distance")
+				return hdr, nil, fmt.Errorf("cluster: sync frame truncated in distance")
 			}
 			o += k
 			if d >= uint64(graph.Inf) {
-				return nil, fmt.Errorf("cluster: sync update distance %d >= Inf", d)
+				return hdr, nil, fmt.Errorf("cluster: sync update distance %d >= Inf", d)
 			}
 			out = append(out, update{v: graph.Vertex(v), hub: graph.Vertex(hub), d: graph.Dist(d)})
 		}
 		prevV = v
 	}
 	if o != len(buf) {
-		return nil, fmt.Errorf("cluster: sync frame has %d trailing bytes", len(buf)-o)
+		return hdr, nil, fmt.Errorf("cluster: sync frame has %d trailing bytes", len(buf)-o)
 	}
-	return out, nil
+	return hdr, out, nil
 }
 
 // mergeShardMin is the round size below which the sharded merge falls
@@ -229,7 +282,7 @@ func mergeRange(store *label.Store, list []update, lo, hi graph.Vertex, scratch 
 // updates it carried. The direct path used by tests and by callers that
 // hold a single frame.
 func mergeFrame(store *label.Store, buf []byte, n, shards int) (int64, error) {
-	upd, err := decodeFrame(buf, n)
+	_, upd, err := decodeFrame(buf, n)
 	if err != nil {
 		return 0, err
 	}
@@ -242,11 +295,39 @@ func mergeFrame(store *label.Store, buf []byte, n, shards int) (int64, error) {
 // one round is ever in flight (collective tags must not interleave).
 type syncState struct {
 	comm   mpi.Comm
-	n      int    // vertex count, for frame validation
-	shards int    // merge parallelism (the node's worker count)
+	n      int      // vertex count, for frame validation
+	shards int      // merge parallelism (the node's worker count)
 	take   []update // drained pending updates, reused each round
 	pack   []byte   // varint encode scratch, reused each round
 	fly    *inflightSync
+	round  int // next sync round (0-based), stamped into frame headers
+
+	// Tracing (nil lanes when the tracer is nil or disabled at Build
+	// start). The foreground lane holds the blocking record/pack spans,
+	// the background lane the exchange/merge spans — in overlapped mode
+	// those really do run concurrently with the next segment's workers.
+	tr         *trace.Tracer
+	fg, bg     *trace.Buf
+	idRecord   trace.ID
+	idPack     trace.ID
+	idExchange trace.ID
+	idMerge    trace.ID
+	idFrame    trace.ID
+}
+
+// initTrace attaches the tracer's sync lanes. Called once, before the
+// first round, and only when tr is enabled.
+func (st *syncState) initTrace(tr *trace.Tracer) {
+	st.tr = tr
+	st.fg = tr.Buf(trace.TIDSync)
+	st.bg = tr.Buf(trace.TIDSyncBG)
+	tr.SetThreadName(trace.TIDSync, "sync record/pack")
+	tr.SetThreadName(trace.TIDSyncBG, "sync exchange/merge")
+	st.idRecord = tr.Intern("sync record", "round", "updates")
+	st.idPack = tr.Intern("sync pack", "round", "bytes")
+	st.idExchange = tr.Intern("sync exchange", "round", "peers")
+	st.idMerge = tr.Intern("sync merge", "round", "updates")
+	st.idFrame = tr.Intern("sync frame")
 }
 
 // inflightSync is one round in flight: the allgather plus the
@@ -261,28 +342,44 @@ type inflightSync struct {
 // start drains the pending lists, packs them, and launches the
 // exchange+merge for one round. The previous round must have been
 // joined (wait) first. Runs on the node's main build goroutine.
+//
+// Timing: the record span covers drain+sort, the pack span the varint
+// encode; RoundStats.PackTime is their sum, taken from the same
+// time.Time endpoints the spans use, so spans and Stats agree exactly.
 func (st *syncState) start(rs *recordingStore) {
+	round := st.round
+	st.round++
+	t0 := time.Now()
 	st.take = rs.takePending(st.take)
 	list := st.take
 	sortUpdates(list)
-	st.pack = packUpdates(st.pack, list)
+	t1 := time.Now()
+	hdr := frameHeader{rank: st.comm.Rank(), round: round, clock: st.tr.Tick()}
+	st.pack = packUpdates(st.pack, list, hdr)
 	// The transport owns sent buffers (the channel transport delivers
 	// zero-copy), so the reusable scratch must not escape: hand it an
 	// exact-size copy.
 	frame := make([]byte, len(st.pack))
 	copy(frame, st.pack)
+	t2 := time.Now()
+	if st.fg != nil {
+		st.fg.Span(st.idRecord, st.tr.At(t0), st.tr.At(t1), uint64(round), uint64(len(list)))
+		st.fg.Span(st.idPack, st.tr.At(t1), st.tr.At(t2), uint64(round), uint64(len(frame)))
+		st.fg.FlowStart(st.idFrame, st.tr.At(t2), flowID(hdr.rank, round))
+	}
 
 	fly := &inflightSync{
 		round: RoundStats{
 			UpdatesSent:  int64(len(list)),
 			BytesSent:    int64(len(frame)),
 			RawBytesSent: int64(len(list)) * bytesPerUpdate,
+			PackTime:     t2.Sub(t0),
 		},
 		done: make(chan struct{}),
 	}
 	st.fly = fly
 	req := mpi.IAllgather(st.comm, frame)
-	go st.complete(fly, req, rs.Store)
+	go st.complete(fly, req, rs.Store, t2, round)
 }
 
 // complete joins the allgather, then decodes every peer frame in
@@ -290,16 +387,29 @@ func (st *syncState) start(rs *recordingStore) {
 // goroutine; in overlapped mode the next segment's Pruned Dijkstras
 // execute concurrently, which is safe because label.Store appends are
 // per-vertex-locked and late labels only weaken pruning (Prop. 1).
-func (st *syncState) complete(fly *inflightSync, req *mpi.Request, store *label.Store) {
+//
+// Each peer's decoded header is verified against the allgather slot it
+// arrived in and the current round — a frame routed to the wrong rank
+// or surviving from a previous round is a transport bug worth failing
+// loudly on — and its flow id pairs this rank's merge with the
+// sender's pack span in merged timelines.
+func (st *syncState) complete(fly *inflightSync, req *mpi.Request, store *label.Store, sent time.Time, round int) {
 	defer close(fly.done)
 	parts, err := req.Wait()
+	tX := time.Now()
+	fly.round.ExchangeTime = tX.Sub(sent)
 	if err != nil {
 		fly.err = fmt.Errorf("cluster: sync: %w", err)
 		return
 	}
+	if st.bg != nil {
+		st.bg.Span(st.idExchange, st.tr.At(sent), st.tr.At(tX), uint64(round), uint64(len(parts)-1))
+	}
 	rank := st.comm.Rank()
 	decoded := make([][]update, len(parts))
+	hdrs := make([]frameHeader, len(parts))
 	errs := make([]error, len(parts))
+	tM0 := time.Now()
 	var wg sync.WaitGroup
 	for r, p := range parts {
 		if r == rank {
@@ -308,11 +418,12 @@ func (st *syncState) complete(fly *inflightSync, req *mpi.Request, store *label.
 		wg.Add(1)
 		go func(r int, p []byte) {
 			defer wg.Done()
-			upd, err := decodeFrame(p, st.n)
+			hdr, upd, err := decodeFrame(p, st.n)
 			if err != nil {
 				errs[r] = fmt.Errorf("cluster: merging from rank %d: %w", r, err)
 				return
 			}
+			hdrs[r] = hdr
 			decoded[r] = upd
 		}(r, p)
 	}
@@ -326,12 +437,29 @@ func (st *syncState) complete(fly *inflightSync, req *mpi.Request, store *label.
 		if r == rank {
 			continue
 		}
+		if hdrs[r].rank != r {
+			fly.err = fmt.Errorf("cluster: frame in allgather slot %d claims rank %d", r, hdrs[r].rank)
+			return
+		}
+		if hdrs[r].round != round {
+			fly.err = fmt.Errorf("cluster: rank %d sent a frame for round %d during round %d", r, hdrs[r].round, round)
+			return
+		}
+		st.tr.Observe(hdrs[r].clock)
+		if st.bg != nil {
+			st.bg.FlowEnd(st.idFrame, st.tr.At(tM0), flowID(r, round))
+		}
 		fly.round.UpdatesReceived += int64(len(decoded[r]))
 		fly.round.BytesReceived += int64(len(parts[r]))
 		fly.round.RawBytesReceived += int64(len(decoded[r])) * bytesPerUpdate
 		lists = append(lists, decoded[r])
 	}
 	mergeShards(store, lists, st.shards)
+	tM1 := time.Now()
+	fly.round.MergeTime = tM1.Sub(tM0)
+	if st.bg != nil {
+		st.bg.Span(st.idMerge, st.tr.At(tM0), st.tr.At(tM1), uint64(round), uint64(fly.round.UpdatesReceived))
+	}
 }
 
 // wait joins the in-flight round, if any, folding its accounting into

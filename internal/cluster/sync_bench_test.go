@@ -124,7 +124,7 @@ func BenchmarkPackUpdates(b *testing.B) {
 		sortUpdates(sorted)
 		var buf []byte
 		for i := 0; i < b.N; i++ {
-			buf = packUpdates(buf, sorted)
+			buf = packUpdates(buf, sorted, frameHeader{})
 		}
 		b.ReportMetric(float64(len(buf))/count, "B/update")
 		b.ReportMetric(float64(count*bytesPerUpdate)/float64(len(buf)), "ratio")
@@ -136,7 +136,7 @@ func BenchmarkPackUpdates(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			copy(scratch, list)
 			sortUpdates(scratch)
-			buf = packUpdates(buf, scratch)
+			buf = packUpdates(buf, scratch, frameHeader{})
 		}
 		b.ReportMetric(float64(len(buf))/count, "B/update")
 	})

@@ -39,8 +39,8 @@ func TestSyncFrameRoundTrip(t *testing.T) {
 	for _, count := range []int{0, 1, 7, 100, 2000} {
 		n := 300
 		list := randomUpdates(r, n, count)
-		frame := packUpdates(nil, list)
-		got, err := decodeFrame(frame, n)
+		frame := packUpdates(nil, list, frameHeader{})
+		_, got, err := decodeFrame(frame, n)
 		if err != nil {
 			t.Fatalf("count=%d: decode: %v", count, err)
 		}
@@ -63,8 +63,8 @@ func TestSyncFrameScratchReuse(t *testing.T) {
 	var scratch []byte
 	for round := 0; round < 5; round++ {
 		list := randomUpdates(r, 200, 50+round*137)
-		scratch = packUpdates(scratch, list)
-		fresh := packUpdates(nil, list)
+		scratch = packUpdates(scratch, list, frameHeader{})
+		fresh := packUpdates(nil, list, frameHeader{})
 		if !bytes.Equal(scratch, fresh) {
 			t.Fatalf("round %d: scratch-packed frame differs from fresh", round)
 		}
@@ -92,7 +92,7 @@ func TestSyncFrameCompression(t *testing.T) {
 		list = append(list, update{v: v, hub: hub, d: graph.Dist(1 + r.Intn(4000))})
 	}
 	sortUpdates(list)
-	frame := packUpdates(nil, list)
+	frame := packUpdates(nil, list, frameHeader{})
 	raw := len(list) * bytesPerUpdate
 	if 2*len(frame) > raw {
 		t.Fatalf("frame %d bytes for %d raw: compression below 2x", len(frame), raw)
@@ -103,13 +103,13 @@ func TestSyncFrameCompression(t *testing.T) {
 // must be rejected — a truncated transfer can never half-apply.
 func TestSyncFrameCorruptPrefixes(t *testing.T) {
 	list := randomUpdates(rand.New(rand.NewSource(503)), 100, 60)
-	frame := packUpdates(nil, list)
+	frame := packUpdates(nil, list, frameHeader{})
 	for cut := 0; cut < len(frame); cut++ {
-		if _, err := decodeFrame(frame[:cut], 100); err == nil {
+		if _, _, err := decodeFrame(frame[:cut], 100); err == nil {
 			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(frame))
 		}
 	}
-	if _, err := decodeFrame(append(frame[:len(frame):len(frame)], 0), 100); err == nil {
+	if _, _, err := decodeFrame(append(frame[:len(frame):len(frame)], 0), 100); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
 }
@@ -121,13 +121,13 @@ func TestSyncFrameCorruptMutations(t *testing.T) {
 	r := rand.New(rand.NewSource(504))
 	const n = 100
 	list := randomUpdates(r, n, 80)
-	frame := packUpdates(nil, list)
+	frame := packUpdates(nil, list, frameHeader{})
 	for trial := 0; trial < 2000; trial++ {
 		mut := append([]byte(nil), frame...)
 		for flips := 1 + r.Intn(3); flips > 0; flips-- {
 			mut[r.Intn(len(mut))] ^= byte(1 + r.Intn(255))
 		}
-		got, err := decodeFrame(mut, n)
+		_, got, err := decodeFrame(mut, n)
 		if err != nil {
 			continue
 		}
@@ -147,7 +147,8 @@ func TestSyncFrameCorruptMutations(t *testing.T) {
 // group count that disagrees with the total.
 func TestSyncFrameRejectsBadDeltas(t *testing.T) {
 	mk := func(fields ...uint64) []byte {
-		buf := []byte{syncFormatVersion}
+		// version + zero rank/round/clock trace words, then the fields.
+		buf := []byte{syncFormatVersion, 0, 0, 0}
 		for _, f := range fields {
 			buf = binary.AppendUvarint(buf, f)
 		}
@@ -169,7 +170,7 @@ func TestSyncFrameRejectsBadDeltas(t *testing.T) {
 		{"unknown version", append([]byte{99}, mk(1, 0, 1, 0, 7)[1:]...)},
 	}
 	for _, tc := range cases {
-		if _, err := decodeFrame(tc.frame, 10); err == nil {
+		if _, _, err := decodeFrame(tc.frame, 10); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}
@@ -180,25 +181,25 @@ func TestSyncFrameRejectsBadDeltas(t *testing.T) {
 // before it can poison AddDist's saturating arithmetic.
 func TestSyncFrameRejectsInfDistance(t *testing.T) {
 	for _, d := range []uint64{uint64(graph.Inf), uint64(graph.Inf) + 1, 1 << 40} {
-		frame := []byte{syncFormatVersion}
-		frame = binary.AppendUvarint(frame, 1) // one update
+		frame := []byte{syncFormatVersion, 0, 0, 0} // zero trace words
+		frame = binary.AppendUvarint(frame, 1)      // one update
 		frame = binary.AppendUvarint(frame, 3) // v = 3
 		frame = binary.AppendUvarint(frame, 1) // one entry
 		frame = binary.AppendUvarint(frame, 2) // hub = 2
 		frame = binary.AppendUvarint(frame, d)
-		if _, err := decodeFrame(frame, 10); err == nil {
+		if _, _, err := decodeFrame(frame, 10); err == nil {
 			t.Errorf("d=%d accepted", d)
 		}
 	}
 	// The same frame with a finite distance is fine — the guard is on
 	// the distance, not the shape.
-	frame := []byte{syncFormatVersion}
+	frame := []byte{syncFormatVersion, 0, 0, 0}
 	frame = binary.AppendUvarint(frame, 1)
 	frame = binary.AppendUvarint(frame, 3)
 	frame = binary.AppendUvarint(frame, 1)
 	frame = binary.AppendUvarint(frame, 2)
 	frame = binary.AppendUvarint(frame, uint64(graph.Inf)-1)
-	if _, err := decodeFrame(frame, 10); err != nil {
+	if _, _, err := decodeFrame(frame, 10); err != nil {
 		t.Errorf("max finite distance rejected: %v", err)
 	}
 }

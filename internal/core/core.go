@@ -15,14 +15,19 @@
 package core
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parapll/internal/graph"
 	"parapll/internal/label"
 	"parapll/internal/pll"
 	"parapll/internal/task"
+	"parapll/internal/trace"
 )
 
 // Policy selects the task assignment policy.
@@ -88,6 +93,11 @@ type Options struct {
 	// concurrently. Updates cost a few atomic adds per completed root —
 	// off the per-edge hot path (see BenchmarkBuildProgressOverhead).
 	Progress *Progress
+	// Tracer, when non-nil and enabled, records per-root spans (task
+	// acquire, Pruned Dijkstra, label append) on per-worker lanes for
+	// the timeline exporter. A nil or disabled tracer costs one check
+	// per worker at startup (see trace.BenchmarkEmitDisabled).
+	Tracer *trace.Tracer
 }
 
 // Progress is a set of live build counters. A builder goroutine updates
@@ -129,6 +139,27 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Pruned:      p.pruned.Load(),
 		WorkOps:     p.workOps.Load(),
 	}
+}
+
+// Rate returns the average root-completion rate (roots per second)
+// over the elapsed build time; 0 before anything completes.
+func (s ProgressSnapshot) Rate(elapsed time.Duration) float64 {
+	if elapsed <= 0 || s.RootsDone == 0 {
+		return 0
+	}
+	return float64(s.RootsDone) / elapsed.Seconds()
+}
+
+// ETA extrapolates the remaining build time from the average rate. ok
+// is false while there is no rate or no known total yet (e.g. a cluster
+// build that has not revealed every segment).
+func (s ProgressSnapshot) ETA(elapsed time.Duration) (eta time.Duration, ok bool) {
+	rate := s.Rate(elapsed)
+	if rate == 0 || s.TotalRoots == 0 || s.RootsDone > s.TotalRoots {
+		return 0, false
+	}
+	remaining := float64(s.TotalRoots-s.RootsDone) / rate
+	return time.Duration(remaining * float64(time.Second)), true
 }
 
 // rootDone records one completed Pruned Dijkstra. p may be nil.
@@ -214,7 +245,12 @@ func BuildInto(g *graph.Graph, store LabelStore, opt Options) *BuildStats {
 	if opt.Progress != nil {
 		opt.Progress.totalRoots.Store(int64(len(ord)))
 	}
-	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, opt.Trace, opt.LazyHeap, opt.Progress)}
+	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, RunConfig{
+		Trace:    opt.Trace,
+		LazyHeap: opt.LazyHeap,
+		Progress: opt.Progress,
+		Tracer:   opt.Tracer,
+	})}
 }
 
 func newManager(ord []graph.Vertex, opt *Options) task.Manager {
@@ -231,46 +267,111 @@ func newManager(ord []graph.Vertex, opt *Options) task.Manager {
 	}
 }
 
+// RunConfig bundles RunWorkers' optional instrumentation and ablation
+// switches so call sites name what they set. The zero value is a plain
+// uninstrumented run.
+type RunConfig struct {
+	// Trace receives per-sequence-position label counts (Figure 6); its
+	// slices must be at least as long as the largest sequence position
+	// the manager hands out. May be nil.
+	Trace *pll.Trace
+	// LazyHeap switches workers to the lazy binary heap (ablation).
+	LazyHeap bool
+	// Progress, when non-nil, is updated once per completed root.
+	Progress *Progress
+	// Tracer, when non-nil and enabled, records timeline spans: one
+	// "task acquire" and one "pruned dijkstra" span per root on the
+	// worker's lane, plus a "label append" span aggregating the root's
+	// append-callback time (anchored at the Dijkstra start so it nests).
+	Tracer *trace.Tracer
+	// Phase labels the workers' pprof goroutine profiles and trace
+	// lanes ("build" when empty; the cluster path passes per-segment
+	// phases) so CPU profiles segment by build phase.
+	Phase string
+}
+
 // RunWorkers runs mgr.Workers() goroutines, each owning a pll.Searcher,
 // until the task manager is exhausted, and returns each worker's total
-// work. trace may be nil; when set, its slices must be at least as long
-// as the largest sequence position the manager hands out. prog may be
-// nil; when set, it is updated once per completed root. If store
-// implements PerWorkerStore, each worker routes its accesses through
-// its private WorkerView.
-func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, trace *pll.Trace, lazyHeap bool, prog *Progress) []int64 {
+// work. Each worker runs under pprof labels (phase, worker) so CPU
+// profiles segment by phase and worker. If store implements
+// PerWorkerStore, each worker routes its accesses through its private
+// WorkerView.
+func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, cfg RunConfig) []int64 {
+	phase := cfg.Phase
+	if phase == "" {
+		phase = "build"
+	}
+	tr := cfg.Tracer
+	var idAcquire, idDijkstra, idAppend trace.ID
+	if tr.Enabled() {
+		idAcquire = tr.Intern("task acquire", "worker")
+		idDijkstra = tr.Intern("pruned dijkstra", "root", "added", "pruned", "worker")
+		idAppend = tr.Intern("label append", "labels")
+	}
 	perWorker := make([]int64, mgr.Workers())
 	var wg sync.WaitGroup
 	for w := 0; w < mgr.Workers(); w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			view := store
-			if pws, ok := store.(PerWorkerStore); ok {
-				view = pws.WorkerView(w, mgr.Workers())
-			}
-			ps := pll.NewSearcher(g, lazyHeap)
-			for {
-				r, pos, ok := mgr.Next(w)
-				if !ok {
-					return
-				}
-				added, pruned := ps.Run(r,
-					view.Snapshot,
-					func(u graph.Vertex, e label.Entry) { view.Append(u, e.Hub, e.D) },
-				)
-				perWorker[w] += ps.LastWork()
-				if trace != nil {
-					trace.AddedPerRoot[pos] = added
-					trace.PrunedPerRoot[pos] = pruned
-					trace.WorkPerRoot[pos] = ps.LastWork()
-				}
-				prog.rootDone(added, pruned, ps.LastWork())
-			}
+			labels := pprof.Labels("phase", phase, "worker", strconv.Itoa(w))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				runWorker(g, mgr, store, cfg, w, perWorker, idAcquire, idDijkstra, idAppend)
+			})
 		}(w)
 	}
 	wg.Wait()
 	return perWorker
+}
+
+// runWorker is one worker's loop. buf is nil unless tracing was enabled
+// when the run started, so the untraced path pays only nil checks.
+func runWorker(g *graph.Graph, mgr task.Manager, store LabelStore, cfg RunConfig, w int, perWorker []int64, idAcquire, idDijkstra, idAppend trace.ID) {
+	view := store
+	if pws, ok := store.(PerWorkerStore); ok {
+		view = pws.WorkerView(w, mgr.Workers())
+	}
+	tr := cfg.Tracer
+	var buf *trace.Buf
+	if tr.Enabled() {
+		buf = tr.Buf(w)
+		tr.SetThreadName(w, "worker "+strconv.Itoa(w))
+	}
+	var appendNs int64
+	appendFn := func(u graph.Vertex, e label.Entry) { view.Append(u, e.Hub, e.D) }
+	if buf != nil {
+		appendFn = func(u graph.Vertex, e label.Entry) {
+			a0 := tr.Now()
+			view.Append(u, e.Hub, e.D)
+			appendNs += tr.Now() - a0
+		}
+	}
+	ps := pll.NewSearcher(g, cfg.LazyHeap)
+	for {
+		t0 := tr.Now()
+		r, pos, ok := mgr.Next(w)
+		if !ok {
+			return
+		}
+		d0 := tr.Now()
+		if buf != nil {
+			buf.Span(idAcquire, t0, d0, uint64(w))
+			appendNs = 0
+		}
+		added, pruned := ps.Run(r, view.Snapshot, appendFn)
+		if buf != nil {
+			d1 := tr.Now()
+			buf.Span(idDijkstra, d0, d1, uint64(r), uint64(added), uint64(pruned), uint64(w))
+			buf.Span(idAppend, d0, d0+appendNs, uint64(added))
+		}
+		perWorker[w] += ps.LastWork()
+		if cfg.Trace != nil {
+			cfg.Trace.AddedPerRoot[pos] = added
+			cfg.Trace.PrunedPerRoot[pos] = pruned
+			cfg.Trace.WorkPerRoot[pos] = ps.LastWork()
+		}
+		cfg.Progress.rootDone(added, pruned, ps.LastWork())
+	}
 }
 
 // BuildRelabeled is Build with the rank-relabeling optimization most

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as `counter`, gauges as `gauge`, and
+// histograms as the conventional `_bucket{le="..."}` / `_sum` / `_count`
+// triple with cumulative bucket counts and a final le="+Inf" bucket.
+// Metric names are sanitized to [a-zA-Z0-9_:] (dots become underscores)
+// and emitted in sorted order, so output is stable and diffable.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	writeSorted(s.Counters, func(name string, v int64) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
+	})
+	writeSorted(s.Gauges, func(name string, v int64) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, v)
+	})
+	writeSorted(s.Histograms, func(name string, h HistogramSnapshot) {
+		n := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.Le != math.MaxInt64 {
+				le = fmt.Sprintf("%d", b.Le)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	})
+}
+
+// writeSorted visits a map in sorted key order.
+func writeSorted[V any](m map[string]V, f func(string, V)) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f(k, m[k])
+	}
+}
+
+// promName maps a registry name onto the Prometheus metric-name
+// alphabet: dots (the registry's namespace separator) and any other
+// illegal rune become underscores, and a leading digit gets a "_"
+// prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

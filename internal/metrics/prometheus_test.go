@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus: counters, gauges, and histograms render in the
+// text exposition format with cumulative buckets and a +Inf catch-all.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.requests.query").Add(7)
+	r.Gauge("http.inflight").Set(-2)
+	h := r.Histogram("lat.us", []int64{10, 100})
+	h.Observe(5)   // bucket le=10
+	h.Observe(50)  // bucket le=100
+	h.Observe(50)  // bucket le=100
+	h.Observe(999) // overflow
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_query counter\nhttp_requests_query 7\n",
+		"# TYPE http_inflight gauge\nhttp_inflight -2\n",
+		"# TYPE lat_us histogram\n",
+		"lat_us_bucket{le=\"10\"} 1\n",
+		"lat_us_bucket{le=\"100\"} 3\n",  // cumulative: 1 + 2
+		"lat_us_bucket{le=\"+Inf\"} 4\n", // cumulative: everything
+		"lat_us_sum 1104\n",
+		"lat_us_count 4\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPromName: the name sanitizer maps registry names onto the
+// Prometheus alphabet without collisions on the common cases.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"http.requests.query": "http_requests_query",
+		"simple":              "simple",
+		"a-b c":               "a_b_c",
+		"9lives":              "_9lives",
+		"ns:sub":              "ns:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"parapll/internal/metrics"
 	"parapll/internal/oracle"
 	"parapll/internal/pathidx"
+	"parapll/internal/trace"
 )
 
 // snapshot is one immutable generation of serving state. All fields are
@@ -111,7 +112,26 @@ type Server struct {
 	reg        *metrics.Registry
 	inflight   *metrics.Gauge
 	generation *metrics.Gauge
+
+	// Request tracing: sampled request spans land in per-lane ring
+	// buffers (lane = round-robin over requestLanes tids) so concurrent
+	// requests never contend on one ring. nil tracer = tracing off; the
+	// per-request cost is then a single atomic load.
+	tracer    atomic.Pointer[trace.Tracer]
+	traceLane atomic.Uint64
+	captureMu sync.Mutex // serializes /debug/trace live captures
+	slow      *SlowLog
 }
+
+// requestLanes is how many trace ring buffers sampled request spans are
+// spread across, starting at trace.TIDRequestBase.
+const requestLanes = 32
+
+// Slow-log defaults; tune with Server.SlowQueries().SetThreshold.
+const (
+	defaultSlowCapacity  = 256
+	defaultSlowThreshold = 100 * time.Millisecond
+)
 
 // New builds the handler with its own metrics registry and the given
 // in-memory serving state. pidx may be nil to disable /path.
@@ -138,6 +158,7 @@ func NewPending(reg *metrics.Registry) *Server {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{mux: http.NewServeMux(), reg: reg}
+	s.slow = NewSlowLog(defaultSlowCapacity, defaultSlowThreshold)
 	s.inflight = reg.Gauge("http.inflight")
 	s.generation = reg.Gauge("index.generation")
 	s.handleSnap("/query", http.MethodGet, s.handleQuery)
@@ -149,8 +170,30 @@ func NewPending(reg *metrics.Registry) *Server {
 	s.handle("/readyz", http.MethodGet, s.handleReadyz)
 	s.handle("/healthz", http.MethodGet, s.handleHealthz)
 	s.handle("/metrics", http.MethodGet, s.handleMetrics)
+	s.handle("/debug/slow", http.MethodGet, s.handleDebugSlow)
+	s.handle("/debug/trace", http.MethodGet, s.handleDebugTrace)
 	return s
 }
+
+// SetTracer installs (or, with nil, removes) the tracer behind sampled
+// request spans and GET /debug/trace. Wired from the -trace-sample flag
+// by cmd/parapll-server; safe to call concurrently with traffic.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	if tr != nil {
+		tr.SetProcessName("parapll-server")
+		for i := 0; i < requestLanes; i++ {
+			tr.SetThreadName(trace.TIDRequestBase+i, fmt.Sprintf("http lane %d", i))
+		}
+	}
+	s.tracer.Store(tr)
+}
+
+// Tracer returns the installed tracer (nil if none).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer.Load() }
+
+// SlowQueries returns the slow-request log exposed at /debug/slow, so
+// the embedding process can tune its threshold (-slow-ms).
+func (s *Server) SlowQueries() *SlowLog { return s.slow }
 
 // Registry returns the registry this server records into.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -246,12 +289,15 @@ func (w *statusWriter) WriteHeader(code int) {
 // handle registers h at path behind the shared middleware: a method
 // guard (the same 405 on every endpoint) plus per-endpoint request and
 // error counters and a latency histogram, all resolved once here so the
-// request path touches only atomics.
+// request path touches only atomics. The same wall-clock measurement
+// also feeds the slow-query log and, when a tracer is installed and the
+// request is sampled, a per-request trace span.
 func (s *Server) handle(path, method string, h http.HandlerFunc) {
 	name := strings.TrimPrefix(path, "/")
 	requests := s.reg.Counter("http.requests." + name)
 	errorsC := s.reg.Counter("http.errors." + name)
 	latency := s.reg.Histogram("http.latency_us."+name, metrics.DefaultLatencyBuckets)
+	spanName := "http " + name
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		s.inflight.Inc()
@@ -263,9 +309,21 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 		} else {
 			h(sw, r)
 		}
-		latency.Observe(time.Since(start).Microseconds())
+		elapsed := time.Since(start)
+		latency.Observe(elapsed.Microseconds())
 		if sw.status >= 400 {
 			errorsC.Inc()
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote the body without WriteHeader
+		}
+		s.slow.Observe(r.Method, path, r.URL.RawQuery, status, start, elapsed)
+		if tr := s.tracer.Load(); tr.Sample() {
+			lane := trace.TIDRequestBase + int(s.traceLane.Add(1)%requestLanes)
+			id := tr.Intern(spanName, "status")
+			t1 := tr.At(start)
+			tr.Buf(lane).Span(id, t1, t1+elapsed.Nanoseconds(), uint64(status))
 		}
 	})
 }
@@ -554,5 +612,78 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Content negotiation: Prometheus scrapers ask for text/plain (the
+	// exposition format); everything else keeps the JSON snapshot.
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") &&
+		!strings.Contains(accept, "application/json") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		metrics.WritePrometheus(w, s.reg.Snapshot())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// slowResponse is the /debug/slow reply.
+type slowResponse struct {
+	ThresholdUS int64       `json:"threshold_us"`
+	Total       uint64      `json:"total"`
+	Entries     []SlowEntry `json:"entries"` // newest first
+}
+
+// handleDebugSlow serves GET /debug/slow: the bounded in-memory log of
+// requests slower than the threshold, newest first.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdUS: s.slow.Threshold().Microseconds(),
+		Total:       s.slow.Total(),
+		Entries:     s.slow.Entries(),
+	})
+}
+
+// maxCaptureSec bounds one /debug/trace live capture.
+const maxCaptureSec = 60.0
+
+// handleDebugTrace serves GET /debug/trace?sec=N: enable tracing (if it
+// is not already on), record live traffic for N seconds on this
+// request's goroutine, then stream the capture as Chrome trace-event
+// JSON and restore the tracer's previous state. One capture at a time;
+// a concurrent request gets 409.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer.Load()
+	if tr == nil {
+		writeErr(w, http.StatusPreconditionFailed,
+			errors.New("no tracer configured (start the server with -trace-sample)"))
+		return
+	}
+	sec := 5.0
+	if raw := r.URL.Query().Get("sec"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 || v > maxCaptureSec {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("bad sec %q (want 0 < sec <= %g)", raw, maxCaptureSec))
+			return
+		}
+		sec = v
+	}
+	if !s.captureMu.TryLock() {
+		writeErr(w, http.StatusConflict, errors.New("a live capture is already running"))
+		return
+	}
+	defer s.captureMu.Unlock()
+	wasEnabled := tr.Enabled()
+	since := tr.Now()
+	tr.Enable()
+	time.Sleep(time.Duration(sec * float64(time.Second)))
+	if !wasEnabled {
+		tr.Disable()
+	}
+	data, err := tr.Capture(since)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }

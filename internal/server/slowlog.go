@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog is a bounded in-memory log of the slowest-than-threshold
+// requests, fed by the serving middleware and exposed at
+// GET /debug/slow. A fixed ring under a mutex: observing is O(1), the
+// newest entries win, and memory is bounded no matter how bad a day the
+// service is having. The threshold is atomic so it can be tuned at
+// runtime without pausing traffic.
+type SlowLog struct {
+	thresholdNs atomic.Int64
+	total       atomic.Uint64 // slow requests ever observed (incl. evicted)
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int // ring position of the next write
+	n    int // live entries (<= len(ring))
+}
+
+// SlowEntry is one logged slow request.
+type SlowEntry struct {
+	// Time is when the request started.
+	Time time.Time `json:"time"`
+	// Method and Path identify the endpoint.
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Query is the raw query string ("" for body-carried requests).
+	Query string `json:"query,omitempty"`
+	// Status is the response status code.
+	Status int `json:"status"`
+	// DurationUS is the request's wall time in microseconds.
+	DurationUS int64 `json:"duration_us"`
+}
+
+// NewSlowLog returns a log holding the most recent `capacity` slow
+// requests; requests at or above `threshold` are recorded (0 disables).
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &SlowLog{ring: make([]SlowEntry, capacity)}
+	l.thresholdNs.Store(threshold.Nanoseconds())
+	return l
+}
+
+// Threshold returns the current slow threshold (0 = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.thresholdNs.Load())
+}
+
+// SetThreshold changes the slow threshold at runtime (0 disables).
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.thresholdNs.Store(d.Nanoseconds())
+}
+
+// Total returns how many slow requests were ever observed, including
+// those the ring has since evicted.
+func (l *SlowLog) Total() uint64 { return l.total.Load() }
+
+// Observe records the request if it was slow enough. The threshold
+// check is one atomic load, so the fast path costs nothing measurable.
+func (l *SlowLog) Observe(method, path, query string, status int, start time.Time, elapsed time.Duration) {
+	th := l.thresholdNs.Load()
+	if th <= 0 || elapsed.Nanoseconds() < th {
+		return
+	}
+	l.total.Add(1)
+	e := SlowEntry{
+		Time:       start,
+		Method:     method,
+		Path:       path,
+		Query:      query,
+		Status:     status,
+		DurationUS: elapsed.Microseconds(),
+	}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the logged requests, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}

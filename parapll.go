@@ -40,6 +40,7 @@ import (
 	"parapll/internal/pathidx"
 	"parapll/internal/pll"
 	"parapll/internal/sssp"
+	"parapll/internal/trace"
 )
 
 // Re-exported fundamental types. Vertex ids are dense int32s in [0,n);
@@ -103,12 +104,41 @@ type Options struct {
 	// Progress, when non-nil, receives live build counters that another
 	// goroutine may sample with Snapshot while Build runs.
 	Progress *BuildProgress
+	// Tracer, when non-nil and enabled, records per-root build spans
+	// (task acquire, Pruned Dijkstra, label append) for the Chrome
+	// trace-event exporter; see NewTracer. Honored by Build and
+	// BuildCluster; ignored by the serial baseline.
+	Tracer *Tracer
 }
 
 // BuildProgress holds live counters of a running Build; see
 // Options.Progress. Its Snapshot method is safe to call concurrently
 // with the build.
 type BuildProgress = core.Progress
+
+// BuildProgressSnapshot is a point-in-time copy of a BuildProgress,
+// with Rate and ETA helpers for progress reporting.
+type BuildProgressSnapshot = core.ProgressSnapshot
+
+// Tracer is a low-overhead span/event recorder. Create one with
+// NewTracer, pass it via Options.Tracer (or Server-side sampling), and
+// export the recorded timeline as Chrome trace-event JSON with
+// WriteJSON — the format chrome://tracing and https://ui.perfetto.dev
+// open directly. A disabled tracer costs one atomic check per
+// instrumentation site.
+type Tracer = trace.Tracer
+
+// NewTracer creates a tracer for process lane pid (the cluster rank, or
+// 0 on one machine) whose per-thread ring buffers hold capacity events
+// each (0 picks a default). The tracer starts disabled; call Enable.
+func NewTracer(pid, capacity int) *Tracer { return trace.New(pid, capacity) }
+
+// MergeTraces merges per-rank trace files (written by parapll-node
+// -trace) into one cross-rank timeline at outPath, aligning each
+// capture's wall-clock epoch.
+func MergeTraces(outPath string, inPaths []string) error {
+	return trace.MergeFiles(outPath, inPaths)
+}
 
 func computeOrder(g *Graph, o Ordering, seed uint64) []Vertex {
 	switch o {
@@ -137,6 +167,7 @@ func Build(g *Graph, opt Options) *Index {
 		Policy:   opt.Policy,
 		Order:    computeOrder(g, opt.Order, opt.Seed),
 		Progress: opt.Progress,
+		Tracer:   opt.Tracer,
 	})
 }
 
@@ -238,6 +269,7 @@ func BuildCluster(g *Graph, comm Comm, opt ClusterOptions) (*Index, error) {
 		Order:     computeOrder(g, opt.Order, opt.Seed),
 		SyncCount: opt.SyncCount,
 		Overlap:   opt.Overlap,
+		Tracer:    opt.Tracer,
 	})
 	return idx, err
 }

@@ -2,6 +2,7 @@ package parapll_test
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -259,5 +260,42 @@ func TestBuildDirected(t *testing.T) {
 	}
 	if d := x.Query(2, 0); d != parapll.Inf {
 		t.Fatalf("d(2->0) = %d, want Inf", d)
+	}
+}
+
+func TestFacadeTracer(t *testing.T) {
+	g, err := parapll.GenerateDataset("Wiki-Vote", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := parapll.NewTracer(0, 0)
+	tr.Enable()
+	idx := parapll.Build(g, parapll.Options{Threads: 2, Policy: parapll.Dynamic, Tracer: tr})
+	if idx.NumEntries() == 0 {
+		t.Fatal("empty index")
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("facade tracer recorded nothing")
+	}
+	data, err := tr.Capture(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty capture")
+	}
+	// A merged single-capture file round-trips through MergeTraces.
+	dir := t.TempDir()
+	in := filepath.Join(dir, "a.json")
+	out := filepath.Join(dir, "merged.json")
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parapll.MergeTraces(out, []string{in}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tracing-overhead benchmark: the parallel build timed with no tracer,
+# with instrumentation present but disabled (the acceptance bar: that
+# row must be free), and with tracing fully on. Writes BENCH_trace.json
+# at the repo root plus a human-readable table to stdout.
+#
+# Usage:
+#   scripts/bench_trace.sh                  # default smoke scale
+#   SCALE=0.05 scripts/bench_trace.sh       # bigger graphs
+#   OUT=results/BENCH_trace.json scripts/bench_trace.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.02}"
+OUT="${OUT:-BENCH_trace.json}"
+DATASETS="${DATASETS:-Wiki-Vote,Gnutella,Epinions}"
+THREADS="${THREADS:-4}"
+
+go run ./cmd/parapll-bench \
+    -exp trace \
+    -scale "$SCALE" \
+    -datasets "$DATASETS" \
+    -threads "$THREADS" \
+    -json "$OUT"
+
+echo "trace benchmark records -> $OUT"

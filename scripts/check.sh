@@ -60,11 +60,28 @@ if [ "$cross_failed" -ne 0 ]; then
     exit 1
 fi
 
+# Trace smoke: index a tiny graph with -trace and validate the emitted
+# Chrome trace-event JSON end to end (well-formed, nonzero spans).
+echo "== trace smoke (parapll-index -trace -> parapll-trace check)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/parapll-gen -dataset Wiki-Vote -scale 0.02 -out "$tracedir"
+go run ./cmd/parapll-index -graph "$tracedir/wiki-vote.bin" -out "$tracedir/g.idx" \
+    -threads 4 -trace "$tracedir/build.json"
+go run ./cmd/parapll-trace check "$tracedir/build.json"
+
 # Opt-in: sync-pipeline benchmark (writes BENCH_sync.json). Slowish, so
 # off by default; enable with SYNC_BENCH=1 scripts/check.sh
 if [ "${SYNC_BENCH:-0}" = "1" ]; then
     echo "== scripts/bench_sync.sh"
     scripts/bench_sync.sh
+fi
+
+# Opt-in: tracing-overhead benchmark (writes BENCH_trace.json); enable
+# with TRACE_BENCH=1 scripts/check.sh
+if [ "${TRACE_BENCH:-0}" = "1" ]; then
+    echo "== scripts/bench_trace.sh"
+    scripts/bench_trace.sh
 fi
 
 echo "all checks passed"
