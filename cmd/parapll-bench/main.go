@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,load,trace,all")
+		exp      = flag.String("exp", "all", "experiment: table3,table4,table5,fig5,fig6,fig7,query,ablations,sync,load,trace,serve,all")
 		scale    = flag.Float64("scale", 0.02, "dataset scale in (0,1]; 1.0 = paper-scale (slow!)")
 		datasets = flag.String("datasets", "", "comma-separated dataset filter (default: all)")
 		threads  = flag.String("threads", "1,2,4,6,8,10,12", "thread sweep for tables 3-4")
@@ -57,6 +57,7 @@ func main() {
 	var syncResults []bench.SyncResult
 	var loadResults []bench.LoadResult
 	var traceResults []bench.TraceResult
+	var serveResults []bench.ServeResult
 	all := []runner{
 		{"table3", func() (*bench.Table, error) { return bench.RunTable3(cfg) }},
 		{"table4", func() (*bench.Table, error) { return bench.RunTable4(cfg) }},
@@ -88,6 +89,14 @@ func main() {
 				return nil, err
 			}
 			traceResults = append(traceResults, results...)
+			return table, nil
+		}},
+		{"serve", func() (*bench.Table, error) {
+			table, results, err := bench.RunServe(cfg, maxOf(cfg.Threads))
+			if err != nil {
+				return nil, err
+			}
+			serveResults = append(serveResults, results...)
 			return table, nil
 		}},
 	}
@@ -130,8 +139,17 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		if len(syncResults) == 0 && len(loadResults) == 0 && len(traceResults) == 0 {
-			fatalf("-json requires the sync, load or trace experiment (-exp sync, -exp load, -exp trace or -exp all)")
+		kinds := 0
+		for _, nonEmpty := range []bool{
+			len(syncResults) > 0, len(loadResults) > 0,
+			len(traceResults) > 0, len(serveResults) > 0,
+		} {
+			if nonEmpty {
+				kinds++
+			}
+		}
+		if kinds == 0 {
+			fatalf("-json requires the sync, load, trace or serve experiment (-exp sync/load/trace/serve or -exp all)")
 		}
 		jf, err := os.Create(*jsonPath)
 		if err != nil {
@@ -142,12 +160,14 @@ func main() {
 		// (a bare array) so existing tooling keeps parsing; mixed runs get
 		// a keyed object.
 		switch {
-		case len(loadResults) == 0 && len(traceResults) == 0:
+		case kinds == 1 && len(syncResults) > 0:
 			err = bench.WriteSyncJSON(jf, syncResults)
-		case len(syncResults) == 0 && len(traceResults) == 0:
+		case kinds == 1 && len(loadResults) > 0:
 			err = bench.WriteLoadJSON(jf, loadResults)
-		case len(syncResults) == 0 && len(loadResults) == 0:
+		case kinds == 1 && len(traceResults) > 0:
 			err = bench.WriteTraceJSON(jf, traceResults)
+		case kinds == 1:
+			err = bench.WriteServeJSON(jf, serveResults)
 		default:
 			enc := json.NewEncoder(jf)
 			enc.SetIndent("", "  ")
@@ -160,6 +180,9 @@ func main() {
 			}
 			if len(traceResults) > 0 {
 				out["trace"] = traceResults
+			}
+			if len(serveResults) > 0 {
+				out["serve"] = serveResults
 			}
 			err = enc.Encode(out)
 		}

@@ -57,10 +57,20 @@ func main() {
 	fmt.Printf("index: n=%d entries=%d LN=%.1f format=%s mmap=%v\n",
 		n, loaded.NumEntries(), loaded.AvgLabelSize(), loaded.Format(), loaded.Mapped())
 
+	// Validate every pair up front: the index's Query panics (by
+	// documented contract) on out-of-range ids, and the CLI should
+	// report a usable error before any partial output, not a stack
+	// trace mid-run.
 	for _, p := range pairs {
 		if int(p[0]) >= n || int(p[1]) >= n || p[0] < 0 || p[1] < 0 {
-			fatalf("pair %d,%d out of range [0,%d)", p[0], p[1], n)
+			fatalf("pair %d,%d out of range: index has vertices [0,%d)", p[0], p[1], n)
 		}
+	}
+	if (*random > 0 || *verify > 0) && n == 0 {
+		fatalf("index has no vertices; nothing to sample for -random/-verify")
+	}
+
+	for _, p := range pairs {
 		d := idx.Query(p[0], p[1])
 		if d == parapll.Inf {
 			fmt.Printf("d(%d,%d) = unreachable\n", p[0], p[1])

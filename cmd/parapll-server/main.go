@@ -25,6 +25,11 @@
 // /debug/pprof/ (opt-in: profiling endpoints leak internals and cost
 // CPU, so they stay off unless asked for).
 //
+// Serving flags: -cache-entries bounds the (s,t) distance LRU cache
+// (generation-keyed, so a /reload hot-swap can never serve distances
+// from the previous graph; 0 disables); -batch-threads caps the
+// goroutine fan-out of one /batch request.
+//
 // Observability flags: -slow-ms bounds the /debug/slow slow-query log;
 // -trace-sample N records a span for 1 in N requests; -trace FILE
 // writes the recorded timeline as Chrome trace-event JSON on
@@ -61,6 +66,8 @@ func main() {
 		traceOut  = flag.String("trace", "", "on SIGINT/SIGTERM, write the recorded request timeline here as Chrome trace-event JSON")
 		traceRate = flag.Int64("trace-sample", 0, "record request spans for 1 in N requests (0 = tracing off, 1 = every request); also arms GET /debug/trace")
 		slowMS    = flag.Int64("slow-ms", 100, "log requests slower than this to GET /debug/slow (0 disables)")
+		cacheEnts = flag.Int("cache-entries", 65536, "bound of the (s,t) distance LRU cache, positive and negative answers (0 disables)")
+		batchThr  = flag.Int("batch-threads", 0, "goroutine fan-out per /batch request (0 = min(4, GOMAXPROCS))")
 	)
 	flag.Parse()
 	if *indexPath == "" && *graphPath == "" {
@@ -76,6 +83,8 @@ func main() {
 		return idx, nil, err // nil pidx: a reload keeps the current path index
 	})
 	srv.SlowQueries().SetThreshold(time.Duration(*slowMS) * time.Millisecond)
+	srv.SetCacheEntries(*cacheEnts) // before the first Publish: snapshots wrap at publish time
+	srv.SetBatchThreads(*batchThr)
 
 	var tr *parapll.Tracer
 	if *traceRate > 0 || *traceOut != "" {

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// serve benchmark's zero-allocation assertion is skipped under it: the
+// detector's shadow bookkeeping allocates on paths the real binary
+// does not.
+const raceEnabled = true

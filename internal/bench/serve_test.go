@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunServe(t *testing.T) {
+	cfg := smokeConfig()
+	table, results, err := RunServe(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cfg.Datasets) || len(table.Rows) != len(results) {
+		t.Fatalf("got %d results, %d rows for %d datasets",
+			len(results), len(table.Rows), len(cfg.Datasets))
+	}
+	for _, r := range results {
+		if r.Vertices <= 0 || r.Entries <= 0 {
+			t.Fatalf("%s: empty index in result %+v", r.Dataset, r)
+		}
+		if r.QueryQPS <= 0 || r.QueryP99Us < r.QueryP50Us {
+			t.Fatalf("%s: nonsensical latency stats %+v", r.Dataset, r)
+		}
+		if r.BatchBaselineMs <= 0 || r.BatchKernelMs <= 0 || r.BatchSpeedup <= 0 {
+			t.Fatalf("%s: missing batch measurements %+v", r.Dataset, r)
+		}
+		if r.CacheHitRate <= 0 || r.CachedQPS <= 0 {
+			t.Fatalf("%s: cached pass did not hit %+v", r.Dataset, r)
+		}
+		// The acceptance bar: the uncached single-query path allocates
+		// nothing in steady state. The race detector's instrumentation
+		// allocates, so only the real build asserts it.
+		if !raceEnabled && r.AllocsPerQuery != 0 {
+			t.Fatalf("%s: %v allocs/query on the hot path, want 0", r.Dataset, r.AllocsPerQuery)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []ServeResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("BENCH_serve.json round-trip: %v", err)
+	}
+	if len(back) != len(results) || back[0].Dataset != results[0].Dataset {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,84 @@
+package dynamic
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"parapll/internal/graph"
+	"parapll/internal/pll"
+)
+
+func TestInsertEdgeRejectedDuringBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	x := Build(randomGraph(r, 20, 30), pll.Options{})
+
+	// Simulate an in-flight batch deterministically: the counter is the
+	// tripwire InsertEdge checks.
+	x.batches.Add(1)
+	err := x.InsertEdge(0, 5, 3)
+	if err == nil {
+		t.Fatal("InsertEdge during batch: no error")
+	}
+	if !strings.Contains(err.Error(), "QueryBatch") {
+		t.Fatalf("error %q does not name the violated contract", err)
+	}
+	x.batches.Add(-1)
+
+	// Drained: the same insert now succeeds.
+	if err := x.InsertEdge(0, 5, 3); err != nil {
+		t.Fatalf("InsertEdge after drain: %v", err)
+	}
+}
+
+// TestConcurrentQueryBatchHammer runs many overlapping batches and
+// single queries with no writer. Queries only read the label lists —
+// under -race this proves they share no scratch (the InsertEdge-owned
+// dist/tmp/touched arrays) across goroutines.
+func TestConcurrentQueryBatchHammer(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	n := 60
+	g := randomGraph(r, n, 2*n)
+	x := Build(g, pll.Options{})
+
+	// Ground truth before any concurrency.
+	pairs := make([][2]graph.Vertex, 600)
+	want := make([]graph.Dist, len(pairs))
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n))}
+		want[i] = x.Query(pairs[i][0], pairs[i][1])
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(threads int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				got := x.QueryBatch(pairs, threads)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("batch[%d] = %d, want %d", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(1 + w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for rep := 0; rep < 2000; rep++ {
+				i := rr.Intn(len(pairs))
+				if got := x.Query(pairs[i][0], pairs[i][1]); got != want[i] {
+					t.Errorf("query %v = %d, want %d", pairs[i], got, want[i])
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 
 	"parapll/internal/graph"
 	"parapll/internal/label"
@@ -36,16 +37,29 @@ type halfEdge struct {
 }
 
 // Index is a mutable 2-hop index over a growing graph.
+//
+// Concurrency contract: queries (Query, QueryWithHub, QueryBatch) only
+// read the label lists and never touch the insertion scratch below, so
+// any number may run concurrently with each other — but none may
+// overlap an InsertEdge, which rewrites the lists in place. The
+// batches counter makes the batch half of that contract enforceable:
+// InsertEdge refuses to run while a QueryBatch is in flight. The check
+// is a best-effort tripwire for a contract violation, not a
+// synchronization mechanism — a racing insert that slips past it is
+// still a data race.
 type Index struct {
 	base  *graph.Graph
 	extra [][]halfEdge    // inserted adjacency, per vertex
 	lists [][]label.Entry // hub-sorted label lists
-	// Scratch for resumed searches.
+	// Scratch for resumed searches — owned by InsertEdge only; queries
+	// must never read or write these.
 	dist    []graph.Dist
 	tmp     []graph.Dist
 	touched []graph.Vertex
 	hubs    []graph.Vertex
 	heap    *vheap.Indexed
+
+	batches atomic.Int32 // in-flight QueryBatch calls
 }
 
 // Build constructs the mutable index from an initial graph with the
@@ -155,16 +169,23 @@ func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
 // QueryBatch answers many (s,t) pairs in parallel (threads <= 0 means
 // GOMAXPROCS). Queries only read the label lists, so a batch is safe as
 // long as no InsertEdge runs concurrently — the same single-writer
-// contract as Query itself.
+// contract as Query itself, and the one InsertEdge enforces via the
+// in-flight counter.
 func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
+	x.batches.Add(1)
+	defer x.batches.Add(-1)
 	return graph.BatchQuery(x.Query, pairs, threads)
 }
 
 // InsertEdge adds the undirected edge {u,v} with weight w and repairs
 // the index. Inserting a parallel edge no lighter than an existing one
 // is a no-op for distances but still recorded in the overlay. Self
-// loops and out-of-range endpoints are rejected.
+// loops and out-of-range endpoints are rejected, as is an insert while
+// a QueryBatch is in flight (see the Index concurrency contract).
 func (x *Index) InsertEdge(u, v graph.Vertex, w graph.Dist) error {
+	if x.batches.Load() != 0 {
+		return fmt.Errorf("dynamic: InsertEdge while a QueryBatch is in flight (queries read the label lists the insert mutates; drain batches first)")
+	}
 	n := x.NumVertices()
 	if u == v {
 		return fmt.Errorf("dynamic: self loop {%d,%d}", u, v)

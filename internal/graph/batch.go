@@ -3,7 +3,20 @@ package graph
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// batchChunkAlign is the chunk-boundary granularity of BatchQueryChunks:
+// 16 Dist values fill one 64-byte cache line, so chunks that start on
+// multiples of 16 never let two workers store into the same line of the
+// shared out slice (no false sharing on adjacent result indices).
+const batchChunkAlign = 16
+
+// batchChunksPerThread is the load-balance target: enough chunks per
+// worker that one slow chunk (a vertex with a huge label list) is
+// absorbed by the others pulling ahead, few enough that the atomic
+// claim counter stays cold.
+const batchChunksPerThread = 4
 
 // BatchQuery fans a batch of (s,t) pairs out over `threads` goroutines
 // (<= 0 means GOMAXPROCS), calling query for each pair. It is the
@@ -11,34 +24,57 @@ import (
 // function must be safe for concurrent use (all finalized indexes are;
 // mutable ones must not be modified while a batch runs).
 func BatchQuery(query func(s, t Vertex) Dist, pairs [][2]Vertex, threads int) []Dist {
+	return BatchQueryChunks(len(pairs), threads, func(out []Dist, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = query(pairs[i][0], pairs[i][1])
+		}
+	})
+}
+
+// BatchQueryChunks is the chunked core of BatchQuery for callers that
+// want to amortize per-pair overhead (scratch reuse, snapshot pinning)
+// across a whole chunk: run must fill out[lo:hi] and may keep state
+// alive until it returns. Chunks are claimed from a shared atomic
+// counter — dynamic load balancing, like the paper's dynamic root
+// assignment — and chunk boundaries are aligned to whole cache lines of
+// the result slice, so concurrent workers never write the same line.
+func BatchQueryChunks(n, threads int, run func(out []Dist, lo, hi int)) []Dist {
+	out := make([]Dist, n)
+	if n == 0 {
+		return out
+	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	if threads > len(pairs) {
-		threads = len(pairs)
+	chunk := (n + threads*batchChunksPerThread - 1) / (threads * batchChunksPerThread)
+	chunk = (chunk + batchChunkAlign - 1) / batchChunkAlign * batchChunkAlign
+	nchunks := (n + chunk - 1) / chunk
+	if threads > nchunks {
+		threads = nchunks
 	}
-	out := make([]Dist, len(pairs))
-	if len(pairs) == 0 {
+	if threads == 1 {
+		run(out, 0, n) // small batch: skip the goroutine round-trip
 		return out
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (len(pairs) + threads - 1) / threads
 	for w := 0; w < threads; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = query(pairs[i][0], pairs[i][1])
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				run(out, lo, hi)
 			}
-		}(lo, hi)
+		}()
 	}
 	wg.Wait()
 	return out

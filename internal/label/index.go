@@ -1,6 +1,7 @@
 package label
 
 import (
+	"fmt"
 	"runtime"
 	"slices"
 	"sort"
@@ -181,73 +182,103 @@ func (x *Index) Label(v graph.Vertex) ([]graph.Vertex, []graph.Dist) {
 	return hubs, dists
 }
 
+// checkPair validates a query pair, panicking with a descriptive
+// message for out-of-range ids. The check is uniform: an out-of-range s
+// or t panics whether or not s == t. (Previously s == t short-circuited
+// to 0 before any bounds check, so an out-of-range pair with equal ids
+// silently "succeeded" while an unequal one crashed with a raw
+// slice-index panic.) The panic itself lives in a cold helper so this
+// check stays under the inlining budget — it runs once per query on the
+// hot path.
+// The fast path folds both bounds checks into one compare: for
+// non-negative ids, s|t < n implies both are in range, and a negative
+// id turns the unsigned compare huge. The compare can fire spuriously
+// (s|t can exceed max(s,t) — e.g. 1|2 = 3), so the cold path re-checks
+// precisely and simply returns for such false alarms.
+func (x *Index) checkPair(s, t graph.Vertex) {
+	if uint32(s)|uint32(t) >= uint32(len(x.off)-1) {
+		checkPairSlow(s, t, len(x.off)-1)
+	}
+}
+
+func checkPairSlow(s, t graph.Vertex, n int) {
+	if uint(s) >= uint(n) || uint(t) >= uint(n) {
+		panic(fmt.Sprintf("label: query pair (%d,%d) out of range [0,%d)", s, t, n))
+	}
+}
+
+// queryNoPin is the pin-free merge behind QueryWithHub. The caller MUST
+// keep x reachable (runtime.KeepAlive after the call, or a live capture
+// spanning it) — the kernel reads slices aliasing x's possibly-mmap'd
+// arrays and does not pin them itself. (Query and QueryBatch spell the
+// equivalent distance-only ramp out inline and pin in their own frames.)
+func (x *Index) queryNoPin(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
+	x.checkPair(s, t)
+	if s == t {
+		return 0, s
+	}
+	slo, shi := x.off[s], x.off[s+1]
+	//parapll:vet-ignore mmapkeepalive the caller pins x right after the call (QueryWithHub)
+	tlo, thi := x.off[t], x.off[t+1]
+	return mergeRuns(x.hubs[slo:shi], x.dists[slo:shi], x.hubs[tlo:thi], x.dists[tlo:thi])
+}
+
 // Query returns the shortest-path distance between s and t, or graph.Inf
 // if no common hub covers the pair (disconnected). Complexity is
-// O(|L(s)| + |L(t)|).
+// O(|L(s)| + |L(t)|), dropping to O(min·log(max/min)) for strongly
+// asymmetric label lists via the galloping merge. It allocates nothing.
+// Out-of-range ids panic with a descriptive message (consistently —
+// including when s == t).
+//
+// The distance-only path is written out here (rather than sharing
+// queryNoPin) so the whole pre-kernel ramp — bounds check, self-pair
+// shortcut, offset loads — inlines into this frame and the query costs
+// exactly one call (the register-addressed queryDistAt kernel).
 func (x *Index) Query(s, t graph.Vertex) graph.Dist {
+	x.checkPair(s, t)
 	if s == t {
 		return 0
 	}
-	sh, sd := x.Label(s)
-	th, td := x.Label(t)
-	best := graph.Inf
-	i, j := 0, 0
-	for i < len(sh) && j < len(th) {
-		switch {
-		case sh[i] < th[j]:
-			i++
-		case sh[i] > th[j]:
-			j++
-		default:
-			if d := graph.AddDist(sd[i], td[j]); d < best {
-				best = d
-			}
-			i++
-			j++
-		}
-	}
+	d := x.queryDistAt(x.off[s], x.off[s+1], x.off[t], x.off[t+1])
 	runtime.KeepAlive(x) // the merge reads slices aliasing x's mapping
-	return best
+	return d
 }
 
 // QueryWithHub is Query but also reports the meeting hub achieving the
 // minimum (useful for path reconstruction and diagnostics). hub is -1 when
-// the pair is disconnected; for s == t it returns (0, s).
+// the pair is disconnected; for s == t it returns (0, s). Out-of-range
+// ids panic exactly as in Query.
 func (x *Index) QueryWithHub(s, t graph.Vertex) (graph.Dist, graph.Vertex) {
-	if s == t {
-		return 0, s
-	}
-	sh, sd := x.Label(s)
-	th, td := x.Label(t)
-	best := graph.Inf
-	hub := graph.Vertex(-1)
-	i, j := 0, 0
-	for i < len(sh) && j < len(th) {
-		switch {
-		case sh[i] < th[j]:
-			i++
-		case sh[i] > th[j]:
-			j++
-		default:
-			if d := graph.AddDist(sd[i], td[j]); d < best {
-				best = d
-				hub = sh[i]
-			}
-			i++
-			j++
-		}
-	}
+	d, hub := x.queryNoPin(s, t)
 	runtime.KeepAlive(x)
-	return best, hub
+	return d, hub
 }
 
 // QueryBatch answers many (s,t) pairs, fanning out over `threads`
 // goroutines (<= 0 means GOMAXPROCS). The index is immutable, so
 // concurrent queries need no synchronization; this exists because batch
-// distance jobs (closeness ranking, distance matrices) are the common
-// production query shape.
+// distance jobs (closeness ranking, distance matrices, /batch requests)
+// are the common production query shape. Each worker runs whole
+// cache-line-aligned chunks through the pin-free kernel and pins the
+// index once per chunk, not once per pair.
 func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
-	return graph.BatchQuery(x.Query, pairs, threads)
+	return graph.BatchQueryChunks(len(pairs), threads, func(out []graph.Dist, lo, hi int) {
+		// The per-pair ramp is spelled out (not a shared helper) for the
+		// same reason as in Query: everything up to the queryDistAt call
+		// inlines, so a pair costs one call.
+		for i := lo; i < hi; i++ {
+			s, t := pairs[i][0], pairs[i][1]
+			x.checkPair(s, t)
+			if s == t {
+				out[i] = 0
+				continue
+			}
+			out[i] = x.queryDistAt(x.off[s], x.off[s+1], x.off[t], x.off[t+1])
+		}
+		// One pin covers every merge above: x stays reachable through
+		// this closure until the KeepAlive executes.
+		runtime.KeepAlive(x)
+	})
 }
 
 // Remap translates an index built in a relabeled id space back to the

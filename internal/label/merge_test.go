@@ -1,0 +1,200 @@
+package label
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+// refMerge is the obviously-correct reference for mergeRuns: intersect
+// via a map, scan the (sorted) b run so ties resolve to the smallest
+// hub, exactly as the kernel's strict < update does.
+func refMerge(ah []graph.Vertex, ad []graph.Dist, bh []graph.Vertex, bd []graph.Dist) (graph.Dist, graph.Vertex) {
+	da := make(map[graph.Vertex]graph.Dist, len(ah))
+	for i, h := range ah {
+		da[h] = ad[i]
+	}
+	best := graph.Inf
+	hub := graph.Vertex(-1)
+	for j, h := range bh {
+		if d0, ok := da[h]; ok {
+			if d := graph.AddDist(d0, bd[j]); d < best {
+				best = d
+				hub = h
+			}
+		}
+	}
+	return best, hub
+}
+
+// randRun builds a strictly hub-increasing run of length n with hubs
+// drawn from [0, hubSpace).
+func randRun(r *rand.Rand, n, hubSpace int) ([]graph.Vertex, []graph.Dist) {
+	if n > hubSpace {
+		n = hubSpace
+	}
+	perm := r.Perm(hubSpace)[:n]
+	hubs := make([]graph.Vertex, n)
+	for i, h := range perm {
+		hubs[i] = graph.Vertex(h)
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && hubs[j] < hubs[j-1]; j-- {
+			hubs[j], hubs[j-1] = hubs[j-1], hubs[j]
+		}
+	}
+	dists := make([]graph.Dist, n)
+	for i := range dists {
+		dists[i] = graph.Dist(r.Intn(1 << 20))
+	}
+	return hubs, dists
+}
+
+// runIndex packs two label runs into a 2-vertex index so tests can
+// drive the offset-addressed distance kernel (queryDistAt, via Query)
+// with the same arbitrary runs they feed mergeRuns.
+func runIndex(ah []graph.Vertex, ad []graph.Dist, bh []graph.Vertex, bd []graph.Dist) *Index {
+	la := make([]Entry, len(ah))
+	for i := range ah {
+		la[i] = Entry{Hub: ah[i], D: ad[i]}
+	}
+	lb := make([]Entry, len(bh))
+	for i := range bh {
+		lb[i] = Entry{Hub: bh[i], D: bd[i]}
+	}
+	return NewIndexFromLists([][]Entry{la, lb})
+}
+
+func TestMergeRunsMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sizes := [][2]int{
+		{0, 0}, {0, 50}, {3, 3}, {1, 1},
+		{1, 100},  // maximal asymmetry: gallop
+		{5, 200},  // gallop
+		{10, 79},  // just under the gallop ratio: linear
+		{10, 80},  // exactly at the ratio: gallop
+		{64, 64},  // symmetric linear
+		{200, 31}, // longer run first: mergeRuns must swap
+	}
+	for _, sz := range sizes {
+		for trial := 0; trial < 50; trial++ {
+			ah, ad := randRun(r, sz[0], 400)
+			bh, bd := randRun(r, sz[1], 400)
+			wantD, wantH := refMerge(ah, ad, bh, bd)
+			gotD, gotH := mergeRuns(ah, ad, bh, bd)
+			if gotD != wantD || gotH != wantH {
+				t.Fatalf("sizes %v trial %d: mergeRuns = (%d,%d), want (%d,%d)\nah=%v\nbh=%v",
+					sz, trial, gotD, gotH, wantD, wantH, ah, bh)
+			}
+			// The distance-only kernel must agree with the tracking one.
+			if gotD := runIndex(ah, ad, bh, bd).Query(0, 1); gotD != wantD {
+				t.Fatalf("sizes %v trial %d: dist kernel = %d, want %d\nah=%v\nbh=%v",
+					sz, trial, gotD, wantD, ah, bh)
+			}
+		}
+	}
+}
+
+func TestMergeRunsEqualStretch(t *testing.T) {
+	// Identical hub lists: the unrolled equal-hub loop consumes the
+	// whole pair of runs in one stretch.
+	r := rand.New(rand.NewSource(9))
+	hubs, ad := randRun(r, 128, 128)
+	_, bd := randRun(r, 128, 128)
+	wantD, wantH := refMerge(hubs, ad, hubs, bd)
+	gotD, gotH := mergeRuns(hubs, ad, hubs, bd)
+	if gotD != wantD || gotH != wantH {
+		t.Fatalf("equal runs: got (%d,%d), want (%d,%d)", gotD, gotH, wantD, wantH)
+	}
+}
+
+func TestMergeRunsSaturation(t *testing.T) {
+	// Distances near Inf must saturate, not wrap to a small winner.
+	ah := []graph.Vertex{1, 2}
+	ad := []graph.Dist{graph.Inf - 1, 5}
+	bh := []graph.Vertex{1, 3}
+	bd := []graph.Dist{graph.Inf - 1, 5}
+	d, h := mergeRuns(ah, ad, bh, bd)
+	if d != graph.Inf || h != -1 {
+		t.Fatalf("saturating merge = (%d,%d), want (Inf,-1)", d, h)
+	}
+	if d := runIndex(ah, ad, bh, bd).Query(0, 1); d != graph.Inf {
+		t.Fatalf("saturating dist kernel = %d, want Inf", d)
+	}
+}
+
+func TestMergeRunsDisjoint(t *testing.T) {
+	ah := []graph.Vertex{0, 2, 4}
+	bh := []graph.Vertex{1, 3, 5}
+	ds := []graph.Dist{1, 1, 1}
+	if d, h := mergeRuns(ah, ds, bh, ds); d != graph.Inf || h != -1 {
+		t.Fatalf("disjoint merge = (%d,%d), want (Inf,-1)", d, h)
+	}
+}
+
+func mustPanicContaining(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T); want string", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	f()
+}
+
+func TestQueryOutOfRangePanics(t *testing.T) {
+	s := NewStore(3)
+	s.Append(0, 0, 0)
+	s.Append(1, 0, 4)
+	x := NewIndex(s)
+	cases := []struct{ s, t graph.Vertex }{
+		{3, 0}, {0, 3}, {-1, 0}, {0, -1},
+		{3, 3},   // s == t must NOT shortcut past the bounds check
+		{-2, -2}, // ditto, negative
+	}
+	for _, c := range cases {
+		mustPanicContaining(t, "out of range", func() { x.Query(c.s, c.t) })
+		mustPanicContaining(t, "out of range", func() { x.QueryWithHub(c.s, c.t) })
+	}
+	// In-range self query still answers 0 without touching labels.
+	if d := x.Query(2, 2); d != 0 {
+		t.Fatalf("Query(2,2) = %d, want 0", d)
+	}
+}
+
+func TestQueryBatchChunkedMatchesQuery(t *testing.T) {
+	// Big enough that BatchQueryChunks splits into many aligned chunks,
+	// with thread counts that do not divide the pair count.
+	r := rand.New(rand.NewSource(99))
+	s := NewStore(300)
+	for i := 0; i < 6000; i++ {
+		s.Append(graph.Vertex(r.Intn(300)), graph.Vertex(r.Intn(300)), graph.Dist(r.Intn(5000)))
+	}
+	x := NewIndex(s)
+	pairs := make([][2]graph.Vertex, 5003)
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(r.Intn(300)), graph.Vertex(r.Intn(300))}
+	}
+	want := make([]graph.Dist, len(pairs))
+	for i, p := range pairs {
+		want[i] = x.Query(p[0], p[1])
+	}
+	for _, threads := range []int{1, 2, 7, 16, 0} {
+		got := x.QueryBatch(pairs, threads)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d pair %d: batch %d != single %d", threads, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -20,7 +20,10 @@ import (
 // Oracle answers exact point-to-point distance queries over a fixed
 // vertex set [0, NumVertices). Implementations are safe for concurrent
 // queries (dynamic.Index additionally requires that no InsertEdge runs
-// while queries are in flight).
+// while queries are in flight). Out-of-range ids panic — uniformly,
+// including for s == t (label.Index documents a descriptive message);
+// callers fronting untrusted input must validate against NumVertices
+// first, as the HTTP server and CLIs do.
 type Oracle interface {
 	// NumVertices returns the size of the indexed vertex set.
 	NumVertices() int

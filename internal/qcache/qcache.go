@@ -1,0 +1,260 @@
+// Package qcache is a bounded, sharded, generation-keyed LRU cache of
+// distance answers for the serving hot path. Production query streams
+// repeat: the same (s,t) pairs recur across users and requests, and a
+// label merge — however fast — still costs O(|L(s)|+|L(t)|) memory
+// traffic, so a hit that costs one map probe wins.
+//
+// Two properties are load-bearing:
+//
+//   - Negative caching: graph.Inf ("unreachable") is cached exactly like
+//     a finite distance. Disconnected pairs are the most expensive
+//     queries (the merge walks both runs to the end finding nothing),
+//     so they benefit the most.
+//
+//   - Generation keying: every entry's key includes the snapshot
+//     generation it was computed under. A /reload hot-swap publishes a
+//     new generation, so post-swap queries can never hit pre-swap
+//     entries — there is no flush to forget and no window to race; the
+//     old generation's entries simply age out of the LRU. This is the
+//     correctness crux and is hammered under -race by the server's
+//     reload tests.
+//
+// The cache is sharded by key hash; each shard is an independent
+// mutex-protected map plus an intrusive index-linked LRU list over a
+// preallocated entry arena, so steady state allocates nothing and
+// concurrent requests rarely contend.
+package qcache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"parapll/internal/graph"
+)
+
+// Counter is the minimal metrics sink for cache events; satisfied by
+// *metrics.Counter. Nil counters are skipped.
+type Counter interface{ Inc() }
+
+// Stats is a point-in-time view of the cache's cumulative activity.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// key identifies one cached answer: the (s,t) pair under one snapshot
+// generation.
+type key struct {
+	gen  uint64
+	s, t graph.Vertex
+}
+
+// hash mixes the key into a shard selector (splitmix64 finisher).
+func (k key) hash() uint64 {
+	h := k.gen*0x9e3779b97f4a7c15 ^ uint64(uint32(k.s))<<32 ^ uint64(uint32(k.t))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// entry is one arena slot: the key (for reverse lookup on eviction),
+// the cached distance and the intrusive LRU links (-1 terminated).
+type entry struct {
+	k          key
+	d          graph.Dist
+	prev, next int32
+}
+
+// shard is one independently locked slice of the cache. The pad keeps
+// hot shard headers on distinct cache lines within the shard array.
+type shard struct {
+	mu   sync.Mutex
+	m    map[key]int32
+	ents []entry
+	cap  int
+	head int32 // most-recently used; -1 when empty
+	tail int32 // least-recently used
+	_    [24]byte
+}
+
+func (sh *shard) unlink(i int32) {
+	e := &sh.ents[i]
+	if e.prev >= 0 {
+		sh.ents[e.prev].next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next >= 0 {
+		sh.ents[e.next].prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+}
+
+func (sh *shard) pushFront(i int32) {
+	e := &sh.ents[i]
+	e.prev, e.next = -1, sh.head
+	if sh.head >= 0 {
+		sh.ents[sh.head].prev = i
+	}
+	sh.head = i
+	if sh.tail < 0 {
+		sh.tail = i
+	}
+}
+
+func (sh *shard) get(k key) (graph.Dist, bool) {
+	i, ok := sh.m[k]
+	if !ok {
+		return 0, false
+	}
+	if sh.head != i {
+		sh.unlink(i)
+		sh.pushFront(i)
+	}
+	return sh.ents[i].d, true
+}
+
+func (sh *shard) put(k key, d graph.Dist) (evicted bool) {
+	if i, ok := sh.m[k]; ok {
+		sh.ents[i].d = d
+		if sh.head != i {
+			sh.unlink(i)
+			sh.pushFront(i)
+		}
+		return false
+	}
+	var i int32
+	if len(sh.ents) < sh.cap {
+		sh.ents = append(sh.ents, entry{})
+		i = int32(len(sh.ents) - 1)
+	} else {
+		i = sh.tail
+		delete(sh.m, sh.ents[i].k)
+		sh.unlink(i)
+		evicted = true
+	}
+	sh.ents[i] = entry{k: k, d: d, prev: -1, next: -1}
+	sh.pushFront(i)
+	sh.m[k] = i
+	return evicted
+}
+
+// Cache is the sharded LRU. Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	// Optional live metric sinks (SetCounters), bumped alongside the
+	// internal atomics so /metrics sees cache traffic without polling.
+	hitC, missC, evictC Counter
+}
+
+// New builds a cache bounded at `entries` answers in total, spread over
+// a power-of-two shard count scaled to GOMAXPROCS. entries < 1 is
+// clamped to 1.
+func New(entries int) *Cache {
+	if entries < 1 {
+		entries = 1
+	}
+	nshards := 1
+	for nshards < runtime.GOMAXPROCS(0) && nshards < 64 && nshards < entries {
+		nshards <<= 1
+	}
+	perShard := (entries + nshards - 1) / nshards
+	c := &Cache{shards: make([]shard, nshards), mask: uint64(nshards - 1)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.m = make(map[key]int32, perShard)
+		sh.ents = make([]entry, 0, perShard)
+		sh.cap = perShard
+		sh.head, sh.tail = -1, -1
+	}
+	return c
+}
+
+// SetCounters wires optional metric sinks for hits, misses and
+// evictions (any may be nil). Call before serving traffic.
+func (c *Cache) SetCounters(hits, misses, evictions Counter) {
+	c.hitC, c.missC, c.evictC = hits, misses, evictions
+}
+
+// Get returns the cached distance for (s,t) under generation gen.
+// A hit refreshes the entry's LRU position.
+func (c *Cache) Get(gen uint64, s, t graph.Vertex) (graph.Dist, bool) {
+	k := key{gen: gen, s: s, t: t}
+	sh := &c.shards[k.hash()&c.mask]
+	sh.mu.Lock()
+	d, ok := sh.get(k)
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		if c.hitC != nil {
+			c.hitC.Inc()
+		}
+	} else {
+		c.misses.Add(1)
+		if c.missC != nil {
+			c.missC.Inc()
+		}
+	}
+	return d, ok
+}
+
+// Put stores the answer for (s,t) under generation gen, evicting the
+// shard's least-recently-used entry at capacity. graph.Inf is a valid
+// answer (negative caching).
+func (c *Cache) Put(gen uint64, s, t graph.Vertex, d graph.Dist) {
+	k := key{gen: gen, s: s, t: t}
+	sh := &c.shards[k.hash()&c.mask]
+	sh.mu.Lock()
+	evicted := sh.put(k, d)
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+		if c.evictC != nil {
+			c.evictC.Inc()
+		}
+	}
+}
+
+// Len returns the current number of cached entries across all shards.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Capacity returns the total entry bound across all shards.
+func (c *Cache) Capacity() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	return total
+}
+
+// Stats returns cumulative hit/miss/eviction counts and current fill.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.Capacity(),
+	}
+}

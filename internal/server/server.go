@@ -45,6 +45,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -57,6 +58,7 @@ import (
 	"parapll/internal/metrics"
 	"parapll/internal/oracle"
 	"parapll/internal/pathidx"
+	"parapll/internal/qcache"
 	"parapll/internal/trace"
 )
 
@@ -113,6 +115,14 @@ type Server struct {
 	inflight   *metrics.Gauge
 	generation *metrics.Gauge
 
+	// cache, when non-nil, fronts every snapshot published after
+	// SetCacheEntries with a generation-keyed distance cache; entries
+	// from a pre-reload generation can never answer post-reload queries.
+	cache *qcache.Cache
+	// batchThreads caps the fan-out of one /batch request so a single
+	// large batch cannot monopolize every core against other requests.
+	batchThreads atomic.Int32
+
 	// Request tracing: sampled request spans land in per-lane ring
 	// buffers (lane = round-robin over requestLanes tids) so concurrent
 	// requests never contend on one ring. nil tracer = tracing off; the
@@ -158,6 +168,7 @@ func NewPending(reg *metrics.Registry) *Server {
 		reg = metrics.NewRegistry()
 	}
 	s := &Server{mux: http.NewServeMux(), reg: reg}
+	s.batchThreads.Store(int32(defaultBatchThreads()))
 	s.slow = NewSlowLog(defaultSlowCapacity, defaultSlowThreshold)
 	s.inflight = reg.Gauge("http.inflight")
 	s.generation = reg.Gauge("index.generation")
@@ -181,12 +192,63 @@ func NewPending(reg *metrics.Registry) *Server {
 func (s *Server) SetTracer(tr *trace.Tracer) {
 	if tr != nil {
 		tr.SetProcessName("parapll-server")
+		tr.SetThreadName(trace.TIDCache, "qcache")
 		for i := 0; i < requestLanes; i++ {
 			tr.SetThreadName(trace.TIDRequestBase+i, fmt.Sprintf("http lane %d", i))
 		}
 	}
 	s.tracer.Store(tr)
 }
+
+// defaultBatchThreads is the /batch fan-out when no -batch-threads flag
+// overrides it: up to 4 goroutines, but never more than the machine
+// has — a 2-core box should not timeslice 4 batch workers against its
+// request handlers.
+func defaultBatchThreads() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetBatchThreads sets the per-/batch-request fan-out; n <= 0 restores
+// the default min(4, GOMAXPROCS). Safe to call concurrently with
+// traffic.
+func (s *Server) SetBatchThreads(n int) {
+	if n <= 0 {
+		n = defaultBatchThreads()
+	}
+	s.batchThreads.Store(int32(n))
+}
+
+// BatchThreads returns the current per-request /batch fan-out.
+func (s *Server) BatchThreads() int { return int(s.batchThreads.Load()) }
+
+// SetCacheEntries bounds the (s,t) distance cache fronting every
+// snapshot published afterwards; entries <= 0 disables caching. Hit,
+// miss and eviction counts are recorded in this server's registry as
+// cache.hits / cache.misses / cache.evictions. Call before the first
+// Publish — snapshots already published keep serving uncached.
+func (s *Server) SetCacheEntries(entries int) {
+	if entries <= 0 {
+		s.cache = nil
+		return
+	}
+	c := qcache.New(entries)
+	c.SetCounters(
+		s.reg.Counter("cache.hits"),
+		s.reg.Counter("cache.misses"),
+		s.reg.Counter("cache.evictions"),
+	)
+	s.cache = c
+}
+
+// Cache returns the configured distance cache (nil when disabled).
+func (s *Server) Cache() *qcache.Cache { return s.cache }
 
 // Tracer returns the installed tracer (nil if none).
 func (s *Server) Tracer() *trace.Tracer { return s.tracer.Load() }
@@ -218,9 +280,19 @@ func (s *Server) SetLoader(l Loader) { s.loader.Store(&l) }
 // traffic.
 func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) uint64 {
 	gen := s.gen.Add(1)
+	ora := oracle.Oracle(idx)
+	if s.cache != nil {
+		// label.Index is undirected, so (s,t) and (t,s) share one cache
+		// entry. The wrapper carries this snapshot's generation: a
+		// reload can never serve distances from the previous graph.
+		ora = qcache.Wrap(idx, s.cache, gen, qcache.Options{
+			Symmetric: true,
+			Tracer:    s.tracer.Load,
+		})
+	}
 	s.snap.Store(&snapshot{
 		idx:    idx,
-		ora:    idx,
+		ora:    ora,
 		pidx:   pidx,
 		gen:    gen,
 		source: source,
@@ -416,9 +488,6 @@ const (
 	// 8 MiB leaves headroom without letting a client stream gigabytes
 	// into the decoder.
 	maxBatchBytes = 8 << 20
-	// batchThreads caps the fan-out of one /batch request so a single
-	// large batch cannot monopolize every core against other requests.
-	batchThreads = 4
 )
 
 func (s *Server) handleBatch(sn *snapshot, w http.ResponseWriter, r *http.Request) {
@@ -445,7 +514,7 @@ func (s *Server) handleBatch(sn *snapshot, w http.ResponseWriter, r *http.Reques
 			return
 		}
 	}
-	dists := sn.ora.QueryBatch(req.Pairs, batchThreads)
+	dists := sn.ora.QueryBatch(req.Pairs, int(s.batchThreads.Load()))
 	out := batchResponse{Dists: make([]int64, len(dists))}
 	for i, d := range dists {
 		out.Dists[i] = encodeDist(d)
@@ -514,18 +583,19 @@ func (s *Server) handleKNN(sn *snapshot, w http.ResponseWriter, r *http.Request)
 
 // statsResponse is the /stats reply.
 type statsResponse struct {
-	Vertices     int     `json:"vertices"`
-	Entries      int64   `json:"entries"`
-	AvgLabelSize float64 `json:"avg_label_size"`
-	HasPathIndex bool    `json:"has_path_index"`
-	Generation   uint64  `json:"generation"`
-	Format       string  `json:"format"`
-	Mmap         bool    `json:"mmap"`
-	Source       string  `json:"source,omitempty"`
+	Vertices     int           `json:"vertices"`
+	Entries      int64         `json:"entries"`
+	AvgLabelSize float64       `json:"avg_label_size"`
+	HasPathIndex bool          `json:"has_path_index"`
+	Generation   uint64        `json:"generation"`
+	Format       string        `json:"format"`
+	Mmap         bool          `json:"mmap"`
+	Source       string        `json:"source,omitempty"`
+	Cache        *qcache.Stats `json:"cache,omitempty"`
 }
 
 func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Vertices:     sn.idx.NumVertices(),
 		Entries:      sn.idx.NumEntries(),
 		AvgLabelSize: sn.idx.AvgLabelSize(),
@@ -534,7 +604,12 @@ func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Reques
 		Format:       sn.idx.Format(),
 		Mmap:         sn.idx.Mapped(),
 		Source:       sn.source,
-	})
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // maxReloadBytes bounds the /reload request body (a single file path)

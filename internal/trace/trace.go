@@ -60,6 +60,9 @@ type ID uint32
 // merged timelines stay readable: build workers use their worker index
 // (0..p-1) directly.
 const (
+	// TIDCache is the serving distance cache's lane: sampled
+	// qcache.query spans (arg hit=0/1) land here.
+	TIDCache = 990
 	// TIDSync is the cluster build's foreground sync lane (record+pack).
 	TIDSync = 900
 	// TIDSyncBG is the cluster build's background lane (exchange+merge).

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Serving hot-path benchmark: single-query p50/p99 latency, QPS and
+# allocs/query (the acceptance bar: 0 on the uncached path), the batch
+# path timed against the pre-kernel merge it replaced, and cached
+# throughput on a repeating workload. Writes BENCH_serve.json at the
+# repo root plus a human-readable table to stdout.
+#
+# The default scale is chosen so average label sizes land in the range
+# the paper reports for its datasets (LN ~50-200): serving cost is
+# dominated by label length, and at tiny smoke scales (LN ~20) the
+# per-pair fixed overhead drowns out the merge the kernel accelerates.
+#
+# Usage:
+#   scripts/bench_serve.sh                  # default scale
+#   SCALE=0.05 scripts/bench_serve.sh       # quicker, smaller labels
+#   OUT=results/BENCH_serve.json scripts/bench_serve.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.25}"
+OUT="${OUT:-BENCH_serve.json}"
+DATASETS="${DATASETS:-Wiki-Vote,Gnutella,Epinions}"
+THREADS="${THREADS:-4}"
+
+go run ./cmd/parapll-bench \
+    -exp serve \
+    -scale "$SCALE" \
+    -datasets "$DATASETS" \
+    -threads "$THREADS" \
+    -json "$OUT"
+
+echo "serve benchmark records -> $OUT"
