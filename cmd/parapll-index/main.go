@@ -7,6 +7,7 @@
 //	parapll-index -graph data/skitter.bin -out skitter.idx -threads 12 -policy dynamic
 //	parapll-index -graph g.txt -out g.idx -serial
 //	parapll-index -graph g.bin -out g.idx -format mmap    # zero-copy serving format
+//	parapll-index -graph g.bin -out g.idx -engine batched # vertex-centric batched engine
 //	parapll-index -graph g.bin -out g.idx -v              # live roots/s + ETA
 //	parapll-index -graph g.bin -out g.idx -trace t.json   # build timeline (Perfetto)
 package main
@@ -28,6 +29,8 @@ func main() {
 		policy    = flag.String("policy", "dynamic", "assignment policy: static or dynamic")
 		ordering  = flag.String("order", "degree", "computing sequence: degree, psi or random")
 		seed      = flag.Uint64("seed", 0, "seed for psi/random ordering")
+		engine    = flag.String("engine", "perroot", "build engine: perroot (one pruned Dijkstra per root) or batched (vertex-centric root batches)")
+		batch     = flag.Int("batch", 0, "batched engine's roots per frontier, 1-64 (0 = default 8)")
 		serial    = flag.Bool("serial", false, "use the serial weighted PLL baseline")
 		format    = flag.String("format", "auto", "index file format: fixed, compact, mmap, or auto (by -out extension)")
 		verbose   = flag.Bool("v", false, "report live progress (roots/sec, ETA) every 2s on stderr")
@@ -50,7 +53,16 @@ func main() {
 	if err != nil {
 		fatalf("loading graph: %v", err)
 	}
-	opt := parapll.Options{Threads: *threads, Seed: *seed}
+	opt := parapll.Options{Threads: *threads, Seed: *seed, BatchSize: *batch}
+	switch *engine {
+	case parapll.EnginePerRoot, parapll.EngineBatched:
+		opt.Engine = *engine
+	default:
+		fatalf("unknown engine %q (want %s or %s)", *engine, parapll.EnginePerRoot, parapll.EngineBatched)
+	}
+	if *serial && *engine != parapll.EnginePerRoot {
+		fatalf("-engine selects a parallel engine; drop -serial")
+	}
 	switch *policy {
 	case "static":
 		opt.Policy = parapll.Static

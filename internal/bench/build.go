@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parapll/internal/core"
+	"parapll/internal/graph"
+	"parapll/internal/label"
+	"parapll/internal/order"
+)
+
+// BuildResult is one build-engine measurement: wall time and root
+// throughput of a full index build for an (engine, ordering) pair, with
+// index-size and peak-heap accounting. The trajectory of these records
+// is BENCH_build.json; batched rows carry the speedup over the per-root
+// row of the same (dataset, ordering) cell.
+type BuildResult struct {
+	Dataset   string `json:"dataset"`
+	Vertices  int    `json:"vertices"`
+	Edges     int    `json:"edges"`
+	Ordering  string `json:"ordering"`
+	Engine    string `json:"engine"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	Threads   int    `json:"threads"`
+	// WallS is the best-of-reps full-build wall time.
+	WallS       float64 `json:"wall_s"`
+	RootsPerSec float64 `json:"roots_per_sec"`
+	// Entries is the finalized index size; parallel/batched redundancy
+	// shows up here as growth over the serial count.
+	Entries      int64   `json:"index_entries"`
+	AvgLabelSize float64 `json:"avg_label_size"`
+	// TotalWork is the engines' machine-independent op count (pops or
+	// activations + relaxations + label entries scanned).
+	TotalWork int64 `json:"total_work"`
+	// PeakHeapBytes is the high-water heap-objects size sampled during
+	// the build (index + engine scratch).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// SpeedupVsPerRoot is wall-time perroot/batched for the same
+	// dataset and ordering; 0 on perroot rows.
+	SpeedupVsPerRoot float64 `json:"speedup_vs_perroot,omitempty"`
+}
+
+// buildReps is how many times each build runs; the best rep wins so a
+// background hiccup cannot fake a regression in the recorded ratio.
+const buildReps = 2
+
+// buildOrderings is the computing-sequence sweep: the paper's degree
+// policy and the sampled-ψ estimate that favors road shapes.
+var buildOrderings = []string{"degree", "psi"}
+
+// RunBuild benchmarks full index builds across the configured datasets,
+// sweeping ordering × engine. batch is the batched engine's
+// roots-per-frontier (0 = default). Every batched index is checked for
+// query equivalence against the per-root index on cfg.Queries random
+// pairs, so a drifting engine fails the benchmark instead of recording
+// a bogus win. Returns the rendered table plus raw records for JSON
+// output (BENCH_build.json).
+func RunBuild(cfg Config, threads, batch int) (*Table, []BuildResult, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, nil, err
+	}
+	engines := []core.Engine{core.PerRoot{}, core.Batched{BatchSize: batch}}
+	t := &Table{
+		Title:  "Build engines — per-root pruned Dijkstra vs vertex-centric batched, degree and ψ orderings",
+		Header: []string{"dataset", "n", "order", "engine", "wall_s", "roots/s", "entries", "ln", "peak_heap_mb", "speedup"},
+	}
+	var out []BuildResult
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		for _, ordering := range buildOrderings {
+			ord := computeBuildOrder(g, ordering)
+			var perRootWall float64
+			var perRootIdx *label.Index
+			for _, eng := range engines {
+				res, idx := measureBuild(rec.Name, g, ord, ordering, eng, threads)
+				switch eng.(type) {
+				case core.PerRoot:
+					perRootWall, perRootIdx = res.WallS, idx
+				case core.Batched:
+					res.BatchSize = core.Batched{BatchSize: batch}.EffectiveBatchSize()
+					if res.WallS > 0 {
+						res.SpeedupVsPerRoot = perRootWall / res.WallS
+					}
+					if err := checkEquivalent(g, perRootIdx, idx, cfg.Queries); err != nil {
+						return nil, nil, fmt.Errorf("bench: %s/%s: %w", rec.Name, ordering, err)
+					}
+				}
+				out = append(out, res)
+				speedup := "-"
+				if res.SpeedupVsPerRoot > 0 {
+					speedup = fmt.Sprintf("%.2fx", res.SpeedupVsPerRoot)
+				}
+				t.AddRow(
+					rec.Name,
+					fmt.Sprint(res.Vertices),
+					ordering,
+					res.Engine,
+					fmt.Sprintf("%.3f", res.WallS),
+					fmt.Sprintf("%.0f", res.RootsPerSec),
+					fmt.Sprint(res.Entries),
+					fmt.Sprintf("%.1f", res.AvgLabelSize),
+					fmt.Sprintf("%.1f", float64(res.PeakHeapBytes)/(1<<20)),
+					speedup,
+				)
+			}
+		}
+	}
+	return t, out, nil
+}
+
+func computeBuildOrder(g *graph.Graph, ordering string) []graph.Vertex {
+	if ordering == "psi" {
+		samples := 8
+		if g.NumVertices() < 8 {
+			samples = 1
+		}
+		return order.PsiSample(g, samples, 42)
+	}
+	return order.Degree(g)
+}
+
+// measureBuild runs one (engine, ordering) cell: buildReps full builds,
+// best wall time wins; work and index stats come from the winning rep.
+func measureBuild(name string, g *graph.Graph, ord []graph.Vertex, ordering string, eng core.Engine, threads int) (BuildResult, *label.Index) {
+	var best BuildResult
+	var bestIdx *label.Index
+	for rep := 0; rep < buildReps; rep++ {
+		var idx *label.Index
+		var stats *core.BuildStats
+		runtime.GC()
+		peak, wall := peakHeapDuring(func() {
+			idx, stats = core.BuildWithStats(g, core.Options{
+				Threads: threads, Policy: core.Dynamic, Order: ord, Engine: eng,
+			})
+		})
+		if rep == 0 || wall.Seconds() < best.WallS {
+			best = BuildResult{
+				Dataset:       name,
+				Vertices:      g.NumVertices(),
+				Edges:         g.NumEdges(),
+				Ordering:      ordering,
+				Engine:        eng.Name(),
+				Threads:       threads,
+				WallS:         wall.Seconds(),
+				Entries:       idx.NumEntries(),
+				AvgLabelSize:  idx.AvgLabelSize(),
+				TotalWork:     stats.TotalWork(),
+				PeakHeapBytes: peak,
+			}
+			if wall > 0 {
+				best.RootsPerSec = float64(g.NumVertices()) / wall.Seconds()
+			}
+			bestIdx = idx
+		}
+	}
+	return best, bestIdx
+}
+
+// checkEquivalent samples random pairs and requires both indexes to
+// answer identically — the cross-engine contract, enforced inside the
+// benchmark so check.sh's build smoke turns red on engine drift.
+func checkEquivalent(g *graph.Graph, a, b *label.Index, samples int) error {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if samples < 2000 {
+		samples = 2000
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < samples; i++ {
+		s, t := graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n))
+		if da, db := a.Query(s, t), b.Query(s, t); da != db {
+			return fmt.Errorf("engines diverge: query(%d,%d) perroot=%d batched=%d", s, t, da, db)
+		}
+	}
+	return nil
+}
+
+// peakHeapDuring runs f while sampling the runtime's live heap-objects
+// size, returning the observed peak and f's wall time. The sampler
+// polls every 2ms, which bounds build overhead well under 1% while
+// catching the engines' scratch high-water mark on builds that take
+// tens of milliseconds or more.
+func peakHeapDuring(f func()) (uint64, time.Duration) {
+	const metric = "/memory/classes/heap/objects:bytes"
+	var peak atomic.Uint64
+	sample := []metrics.Sample{{Name: metric}}
+	read := func() {
+		metrics.Read(sample)
+		if v := sample[0].Value.Uint64(); v > peak.Load() {
+			peak.Store(v)
+		}
+	}
+	read()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				read()
+			}
+		}
+	}()
+	t0 := time.Now()
+	f()
+	wall := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	read()
+	return peak.Load(), wall
+}
+
+// WriteBuildJSON serializes build results as indented JSON (the
+// BENCH_build.json format).
+func WriteBuildJSON(w io.Writer, results []BuildResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -270,7 +270,10 @@ func Build(g *graph.Graph, opt Options) (*label.Index, *Stats, error) {
 				opt.Progress.AddRoots(int64(len(segRoots)))
 			}
 			mgr := newSegmentManager(segRoots, &opt)
-			for _, w := range core.RunWorkers(g, mgr, store, core.RunConfig{
+			// The cluster path is pinned to the per-root engine: its
+			// recording stores attribute appends root-by-root, which the
+			// batched engine's deferred commit would break.
+			for _, w := range (core.PerRoot{}).Run(g, mgr, store, core.RunConfig{
 				LazyHeap: opt.LazyHeap,
 				Progress: opt.Progress,
 				Tracer:   opt.Tracer,

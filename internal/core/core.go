@@ -15,10 +15,7 @@
 package core
 
 import (
-	"context"
 	"runtime"
-	"runtime/pprof"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,6 +95,11 @@ type Options struct {
 	// the timeline exporter. A nil or disabled tracer costs one check
 	// per worker at startup (see trace.BenchmarkEmitDisabled).
 	Tracer *trace.Tracer
+	// Engine selects the build algorithm behind the task-manager seam;
+	// nil means PerRoot (the paper's one-pruned-Dijkstra-per-root
+	// engine). See Engine for the contract and Batched for the
+	// vertex-centric alternative.
+	Engine Engine
 }
 
 // Progress is a set of live build counters. A builder goroutine updates
@@ -245,7 +247,11 @@ func BuildInto(g *graph.Graph, store LabelStore, opt Options) *BuildStats {
 	if opt.Progress != nil {
 		opt.Progress.totalRoots.Store(int64(len(ord)))
 	}
-	return &BuildStats{PerWorkerWork: RunWorkers(g, mgr, store, RunConfig{
+	eng := opt.Engine
+	if eng == nil {
+		eng = PerRoot{}
+	}
+	return &BuildStats{PerWorkerWork: eng.Run(g, mgr, store, RunConfig{
 		Trace:    opt.Trace,
 		LazyHeap: opt.LazyHeap,
 		Progress: opt.Progress,
@@ -290,88 +296,16 @@ type RunConfig struct {
 	Phase string
 }
 
-// RunWorkers runs mgr.Workers() goroutines, each owning a pll.Searcher,
-// until the task manager is exhausted, and returns each worker's total
-// work. Each worker runs under pprof labels (phase, worker) so CPU
-// profiles segment by phase and worker. If store implements
-// PerWorkerStore, each worker routes its accesses through its private
-// WorkerView.
+// RunWorkers runs the per-root engine: mgr.Workers() goroutines, each
+// owning a pll.Searcher, until the task manager is exhausted, and
+// returns each worker's total work. Each worker runs under pprof labels
+// (phase, worker) so CPU profiles segment by phase and worker. If store
+// implements PerWorkerStore, each worker routes its accesses through
+// its private WorkerView. Kept as the named entry point for callers
+// pinned to per-root semantics (the cluster sync pipeline records
+// labels per completed root); new call sites should go through Engine.
 func RunWorkers(g *graph.Graph, mgr task.Manager, store LabelStore, cfg RunConfig) []int64 {
-	phase := cfg.Phase
-	if phase == "" {
-		phase = "build"
-	}
-	tr := cfg.Tracer
-	var idAcquire, idDijkstra, idAppend trace.ID
-	if tr.Enabled() {
-		idAcquire = tr.Intern("task acquire", "worker")
-		idDijkstra = tr.Intern("pruned dijkstra", "root", "added", "pruned", "worker")
-		idAppend = tr.Intern("label append", "labels")
-	}
-	perWorker := make([]int64, mgr.Workers())
-	var wg sync.WaitGroup
-	for w := 0; w < mgr.Workers(); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			labels := pprof.Labels("phase", phase, "worker", strconv.Itoa(w))
-			pprof.Do(context.Background(), labels, func(context.Context) {
-				runWorker(g, mgr, store, cfg, w, perWorker, idAcquire, idDijkstra, idAppend)
-			})
-		}(w)
-	}
-	wg.Wait()
-	return perWorker
-}
-
-// runWorker is one worker's loop. buf is nil unless tracing was enabled
-// when the run started, so the untraced path pays only nil checks.
-func runWorker(g *graph.Graph, mgr task.Manager, store LabelStore, cfg RunConfig, w int, perWorker []int64, idAcquire, idDijkstra, idAppend trace.ID) {
-	view := store
-	if pws, ok := store.(PerWorkerStore); ok {
-		view = pws.WorkerView(w, mgr.Workers())
-	}
-	tr := cfg.Tracer
-	var buf *trace.Buf
-	if tr.Enabled() {
-		buf = tr.Buf(w)
-		tr.SetThreadName(w, "worker "+strconv.Itoa(w))
-	}
-	var appendNs int64
-	appendFn := func(u graph.Vertex, e label.Entry) { view.Append(u, e.Hub, e.D) }
-	if buf != nil {
-		appendFn = func(u graph.Vertex, e label.Entry) {
-			a0 := tr.Now()
-			view.Append(u, e.Hub, e.D)
-			appendNs += tr.Now() - a0
-		}
-	}
-	ps := pll.NewSearcher(g, cfg.LazyHeap)
-	for {
-		t0 := tr.Now()
-		r, pos, ok := mgr.Next(w)
-		if !ok {
-			return
-		}
-		d0 := tr.Now()
-		if buf != nil {
-			buf.Span(idAcquire, t0, d0, uint64(w))
-			appendNs = 0
-		}
-		added, pruned := ps.Run(r, view.Snapshot, appendFn)
-		if buf != nil {
-			d1 := tr.Now()
-			buf.Span(idDijkstra, d0, d1, uint64(r), uint64(added), uint64(pruned), uint64(w))
-			buf.Span(idAppend, d0, d0+appendNs, uint64(added))
-		}
-		perWorker[w] += ps.LastWork()
-		if cfg.Trace != nil {
-			cfg.Trace.AddedPerRoot[pos] = added
-			cfg.Trace.PrunedPerRoot[pos] = pruned
-			cfg.Trace.WorkPerRoot[pos] = ps.LastWork()
-		}
-		cfg.Progress.rootDone(added, pruned, ps.LastWork())
-	}
+	return PerRoot{}.Run(g, mgr, store, cfg)
 }
 
 // BuildRelabeled is Build with the rank-relabeling optimization most

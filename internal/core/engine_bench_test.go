@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/order"
+)
+
+// benchGraph is a Gnutella-shaped Chung-Lu graph: power-law degrees and
+// small uniform weights, the regime where index labels grow long and
+// the engines' label-scan behavior dominates the build.
+func benchGraph() *graph.Graph {
+	return gen.ChungLu(1000, 4000, 2.3, 9)
+}
+
+func benchmarkEngine(b *testing.B, eng Engine) {
+	g := benchGraph()
+	ord := order.Degree(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := Build(g, Options{Threads: 1, Policy: Dynamic, Order: ord, Engine: eng})
+		if idx.NumEntries() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+func BenchmarkPerRoot(b *testing.B) { benchmarkEngine(b, PerRoot{}) }
+
+func BenchmarkBatched(b *testing.B) {
+	for _, bs := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("batch%d", bs), func(b *testing.B) {
+			benchmarkEngine(b, Batched{BatchSize: bs})
+		})
+	}
+}

@@ -18,7 +18,10 @@
 package order
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"parapll/internal/gen"
 	"parapll/internal/graph"
@@ -49,50 +52,58 @@ func Random(g *graph.Graph, seed uint64) []graph.Vertex {
 // of tree descendants whose root paths pass through it). Vertices are
 // returned in descending estimated ψ. samples must be ≥ 1; larger samples
 // sharpen the estimate at linear cost.
+//
+// Samples are independent, so they run on a GOMAXPROCS-wide worker pool,
+// each worker owning reusable Dijkstra scratch (reset in time
+// proportional to the search, not n) and a private ψ accumulator. The
+// roots are all drawn before any worker starts and the per-sample
+// contributions are summed, so the result is a pure function of
+// (g, samples, seed) — identical to the serial computation regardless of
+// how the pool schedules.
 func PsiSample(g *graph.Graph, samples int, seed uint64) []graph.Vertex {
 	n := g.NumVertices()
 	if samples < 1 {
 		panic("order: PsiSample needs samples >= 1")
 	}
-	psi := make([]uint64, n)
 	r := gen.NewRNG(seed)
-	dist := make([]graph.Dist, n)
-	parent := make([]graph.Vertex, n)
-	orderBuf := make([]graph.Vertex, 0, n)
-	h := vheap.NewIndexed(n)
-	for s := 0; s < samples && n > 0; s++ {
-		root := graph.Vertex(r.Intn(n))
-		for i := range dist {
-			dist[i] = graph.Inf
-			parent[i] = -1
+	var roots []graph.Vertex
+	if n > 0 {
+		roots = make([]graph.Vertex, samples)
+		for s := range roots {
+			roots[s] = graph.Vertex(r.Intn(n))
 		}
-		dist[root] = 0
-		orderBuf = orderBuf[:0]
-		h.Reset()
-		h.Push(root, 0)
-		for h.Len() > 0 {
-			u, d := h.Pop()
-			orderBuf = append(orderBuf, u)
-			ns, ws := g.Neighbors(u)
-			for i, v := range ns {
-				nd := graph.AddDist(d, ws[i])
-				if nd < dist[v] {
-					dist[v] = nd
-					parent[v] = u
-					h.Push(v, nd)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(roots) {
+		workers = len(roots)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	perWorker := make([][]uint64, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := make([]uint64, n)
+			perWorker[w] = acc
+			sc := newPsiScratch(n)
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= len(roots) {
+					return
 				}
+				sc.accumulate(g, roots[s], acc)
 			}
-		}
-		// Settle order is topological for the SP tree: walk it backwards
-		// accumulating subtree sizes into each parent.
-		size := make([]uint64, n)
-		for i := len(orderBuf) - 1; i >= 0; i-- {
-			v := orderBuf[i]
-			size[v]++
-			psi[v] += size[v]
-			if p := parent[v]; p >= 0 {
-				size[p] += size[v]
-			}
+		}(w)
+	}
+	wg.Wait()
+	psi := make([]uint64, n)
+	for _, acc := range perWorker {
+		for i, x := range acc {
+			psi[i] += x
 		}
 	}
 	out := make([]graph.Vertex, n)
@@ -108,20 +119,76 @@ func PsiSample(g *graph.Graph, samples int, seed uint64) []graph.Vertex {
 	return out
 }
 
+// psiScratch is one PsiSample worker's reusable Dijkstra state: the
+// tentative-distance and shortest-path-tree arrays plus the settle-order
+// buffer, all reset in time proportional to the search's reach.
+type psiScratch struct {
+	dist     []graph.Dist
+	parent   []graph.Vertex
+	size     []uint64
+	orderBuf []graph.Vertex
+	h        *vheap.Indexed
+}
+
+func newPsiScratch(n int) *psiScratch {
+	sc := &psiScratch{
+		dist:     make([]graph.Dist, n),
+		parent:   make([]graph.Vertex, n),
+		size:     make([]uint64, n),
+		orderBuf: make([]graph.Vertex, 0, n),
+		h:        vheap.NewIndexed(n),
+	}
+	for i := 0; i < n; i++ {
+		sc.dist[i] = graph.Inf
+		sc.parent[i] = -1
+	}
+	return sc
+}
+
+// accumulate runs one shortest-path tree from root and adds every
+// vertex's subtree size into psi.
+func (sc *psiScratch) accumulate(g *graph.Graph, root graph.Vertex, psi []uint64) {
+	sc.dist[root] = 0
+	sc.orderBuf = sc.orderBuf[:0]
+	sc.h.Reset()
+	sc.h.Push(root, 0)
+	for sc.h.Len() > 0 {
+		u, d := sc.h.Pop()
+		sc.orderBuf = append(sc.orderBuf, u)
+		ns, ws := g.Neighbors(u)
+		for i, v := range ns {
+			nd := graph.AddDist(d, ws[i])
+			if nd < sc.dist[v] {
+				sc.dist[v] = nd
+				sc.parent[v] = u
+				sc.h.Push(v, nd)
+			}
+		}
+	}
+	// Settle order is topological for the SP tree: walk it backwards
+	// accumulating subtree sizes into each parent.
+	for i := len(sc.orderBuf) - 1; i >= 0; i-- {
+		v := sc.orderBuf[i]
+		sc.size[v]++
+		psi[v] += sc.size[v]
+		if p := sc.parent[v]; p >= 0 {
+			sc.size[p] += sc.size[v]
+		}
+	}
+	// Every vertex with finite dist, a parent, or a nonzero size was
+	// settled, hence on orderBuf: reset covers exactly the touched state.
+	for _, v := range sc.orderBuf {
+		sc.dist[v] = graph.Inf
+		sc.parent[v] = -1
+		sc.size[v] = 0
+	}
+}
+
 // Validate checks that ord is a permutation of g's vertices, returning
 // false otherwise. Indexing with a non-permutation would silently skip
-// roots, so callers validate untrusted orders.
+// roots, so callers validate untrusted orders. It is graph.CheckOrder —
+// the validator Build's panic path uses — behind package order's
+// boolean convention.
 func Validate(g *graph.Graph, ord []graph.Vertex) bool {
-	n := g.NumVertices()
-	if len(ord) != n {
-		return false
-	}
-	seen := make([]bool, n)
-	for _, v := range ord {
-		if int(v) < 0 || int(v) >= n || seen[v] {
-			return false
-		}
-		seen[v] = true
-	}
-	return true
+	return graph.CheckOrder(ord, g.NumVertices()) == nil
 }

@@ -2,6 +2,7 @@ package order
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"parapll/internal/gen"
@@ -126,6 +127,61 @@ func TestOrdersOnGeneratedGraphs(t *testing.T) {
 			if !Validate(g, ord) {
 				t.Errorf("%s/%s: not a permutation", name, policy)
 			}
+		}
+	}
+}
+
+// TestPsiSampleParallelMatchesSerial pins the worker pool's contract:
+// the estimate is a pure function of (g, samples, seed), so a build
+// with one worker and a build with many must agree exactly.
+func TestPsiSampleParallelMatchesSerial(t *testing.T) {
+	rec, err := gen.FindRecipe("Gnutella")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rec.Generate(0.01)
+	prev := runtime.GOMAXPROCS(1)
+	serial := PsiSample(g, 16, 42)
+	runtime.GOMAXPROCS(8)
+	parallel := PsiSample(g, 16, 42)
+	runtime.GOMAXPROCS(prev)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("PsiSample differs between 1 and 8 workers")
+	}
+}
+
+// TestPsiSampleScratchReuse runs many samples through the same worker
+// scratch (samples >> workers) so a missed reset between samples would
+// corrupt the estimate relative to the known star answer.
+func TestPsiSampleScratchReuse(t *testing.T) {
+	g := star(40)
+	ord := PsiSample(g, 50, 7)
+	if ord[0] != 0 {
+		t.Fatalf("star center ranked %v, want vertex 0 first", ord[0])
+	}
+	if !Validate(g, ord) {
+		t.Fatal("not a permutation")
+	}
+}
+
+func TestValidateMatchesCheckOrder(t *testing.T) {
+	g := star(5)
+	for _, c := range []struct {
+		ord []graph.Vertex
+		ok  bool
+	}{
+		{[]graph.Vertex{0, 1, 2, 3, 4}, true},
+		{[]graph.Vertex{4, 3, 2, 1, 0}, true},
+		{[]graph.Vertex{0, 1, 2, 3}, false},
+		{[]graph.Vertex{0, 1, 2, 3, 3}, false},
+		{[]graph.Vertex{0, 1, 2, 3, 5}, false},
+	} {
+		if got := Validate(g, c.ord); got != c.ok {
+			t.Errorf("Validate(%v) = %v, want %v", c.ord, got, c.ok)
+		}
+		wantErr := graph.CheckOrder(c.ord, 5) == nil
+		if wantErr != c.ok {
+			t.Errorf("CheckOrder(%v) disagrees with expectation", c.ord)
 		}
 	}
 }

@@ -234,7 +234,7 @@ func BuildUnweightedBP(g *graph.Graph, nRoots int, opt Options) *BPIndex {
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
 			d := dist[u]
-			if x.bpQuery(r, u) <= d || coveredBy(labels[u], tmp, d) {
+			if x.bpQuery(r, u) <= d || CoveredBy(labels[u], tmp, d) {
 				continue
 			}
 			labels[u] = append(labels[u], label.Entry{Hub: r, D: d})

@@ -186,7 +186,7 @@ func (ps *Searcher) Run(
 		// Prune test: QUERY(r, u) over existing labels ≤ D[u]?
 		lbl := getLabel(u)
 		ps.work += int64(len(lbl))
-		if coveredBy(lbl, ps.tmp, d) {
+		if CoveredBy(lbl, ps.tmp, d) {
 			pruned++
 			continue
 		}
@@ -223,9 +223,12 @@ func (ps *Searcher) Run(
 	return added, pruned
 }
 
-// coveredBy reports whether some hub h in labels has tmp[h] + d(h,u) ≤ d,
-// i.e. the 2-hop cover already answers the pair at least as well.
-func coveredBy(labels []label.Entry, tmp []graph.Dist, d graph.Dist) bool {
+// CoveredBy reports whether some hub h in labels has tmp[h] + d(h,u) ≤ d,
+// i.e. the 2-hop cover already answers the pair at least as well. tmp is
+// the querying root's hub-distance scatter array (tmp[h] = d(root, h),
+// graph.Inf when h is not one of the root's hubs). This is the PLL prune
+// test shared by the per-root searcher and core's batched engine.
+func CoveredBy(labels []label.Entry, tmp []graph.Dist, d graph.Dist) bool {
 	for _, e := range labels {
 		if t := tmp[e.Hub]; t != graph.Inf {
 			if graph.AddDist(t, e.D) <= d {

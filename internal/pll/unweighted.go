@@ -47,7 +47,7 @@ func BuildUnweighted(g *graph.Graph, opt Options) *label.Index {
 			u := queue[head]
 			d := dist[u]
 			work += 1 + int64(len(labels[u]))
-			if coveredBy(labels[u], tmp, d) {
+			if CoveredBy(labels[u], tmp, d) {
 				pruned++
 				continue
 			}

@@ -33,6 +33,27 @@ type Manager interface {
 	Workers() int
 }
 
+// NextBatch claims up to max consecutive tasks for worker w, filling
+// roots and poss (each at least max long) and returning how many were
+// claimed; 0 means worker w is done. Batch-oriented engines use this to
+// turn the per-root manager protocol into root batches without the
+// managers having to know about batching: under Static the batch is the
+// worker's next stride of the dealt sequence, under Dynamic it is the
+// next run of claims off the shared cursor. Roots arrive in the same
+// global-sequence order Next would have produced for this worker.
+func NextBatch(m Manager, w, max int, roots []graph.Vertex, poss []int) int {
+	k := 0
+	for k < max {
+		v, pos, ok := m.Next(w)
+		if !ok {
+			break
+		}
+		roots[k], poss[k] = v, pos
+		k++
+	}
+	return k
+}
+
 // Static deals the sequence round-robin before indexing (paper Figure 2).
 type Static struct {
 	order   []graph.Vertex

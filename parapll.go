@@ -101,6 +101,15 @@ type Options struct {
 	Order Ordering
 	// Seed feeds OrderPsi / OrderRandom.
 	Seed uint64
+	// Engine selects the build algorithm: EnginePerRoot (one pruned
+	// Dijkstra per root — the paper's ParaPLL, and the default when
+	// empty) or EngineBatched (vertex-centric: a batch of roots
+	// propagated as one shared frontier). Honored by Build; the serial,
+	// cluster, path and dynamic builders are pinned to per-root.
+	Engine string
+	// BatchSize is EngineBatched's roots-per-frontier, clamped to
+	// [1, 64]; <= 0 picks the default (8). Ignored by EnginePerRoot.
+	BatchSize int
 	// Progress, when non-nil, receives live build counters that another
 	// goroutine may sample with Snapshot while Build runs.
 	Progress *BuildProgress
@@ -119,6 +128,12 @@ type BuildProgress = core.Progress
 // BuildProgressSnapshot is a point-in-time copy of a BuildProgress,
 // with Rate and ETA helpers for progress reporting.
 type BuildProgressSnapshot = core.ProgressSnapshot
+
+// Engine names accepted by Options.Engine ("" means per-root).
+const (
+	EnginePerRoot = core.EnginePerRoot
+	EngineBatched = core.EngineBatched
+)
 
 // Tracer is a low-overhead span/event recorder. Create one with
 // NewTracer, pass it via Options.Tracer (or Server-side sampling), and
@@ -160,14 +175,20 @@ func computeOrder(g *Graph, o Ordering, seed uint64) []Vertex {
 func NewGraph(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
 
 // Build constructs the index in parallel on this machine (the paper's
-// intra-node ParaPLL).
+// intra-node ParaPLL). It panics on an unknown Options.Engine name,
+// matching the package's treatment of invalid orders.
 func Build(g *Graph, opt Options) *Index {
+	eng, err := core.EngineByName(opt.Engine, opt.BatchSize)
+	if err != nil {
+		panic("parapll: " + err.Error())
+	}
 	return core.Build(g, core.Options{
 		Threads:  opt.Threads,
 		Policy:   opt.Policy,
 		Order:    computeOrder(g, opt.Order, opt.Seed),
 		Progress: opt.Progress,
 		Tracer:   opt.Tracer,
+		Engine:   eng,
 	})
 }
 

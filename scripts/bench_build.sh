@@ -1,0 +1,37 @@
+#!/bin/sh
+# Build-engine benchmark: full index builds sweeping ordering (degree,
+# psi) x engine (perroot, batched), recording wall time, roots/s, index
+# entries and peak heap per cell, with the batched rows carrying the
+# speedup over per-root. Every batched index is query-checked against
+# the per-root index inside the bench, so an engine that drifts fails
+# the run instead of recording a bogus win. Writes BENCH_build.json at
+# the repo root plus a human-readable table to stdout.
+#
+# The default scale puts average label sizes in the paper's reported
+# range (LN ~25-300 across the social and road shapes), where the
+# engines' label-scan behavior — the thing batching amortizes —
+# dominates the build.
+#
+# Usage:
+#   scripts/bench_build.sh                   # default scale
+#   SCALE=0.02 scripts/bench_build.sh        # quick smoke
+#   BATCH=16 scripts/bench_build.sh          # non-default batch size
+#   OUT=results/BENCH_build.json scripts/bench_build.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.1}"
+OUT="${OUT:-BENCH_build.json}"
+DATASETS="${DATASETS:-Wiki-Vote,Gnutella,RI-USA}"
+THREADS="${THREADS:-1}"
+BATCH="${BATCH:-0}"
+
+go run ./cmd/parapll-bench \
+    -exp build \
+    -scale "$SCALE" \
+    -datasets "$DATASETS" \
+    -threads "$THREADS" \
+    -batch "$BATCH" \
+    -json "$OUT"
+
+echo "build benchmark records -> $OUT"

@@ -95,4 +95,20 @@ if [ "${SERVE_BENCH:-0}" = "1" ]; then
     SCALE="${SCALE:-0.02}" scripts/bench_serve.sh
 fi
 
+# Build-engine smoke: a tiny-scale run of the build benchmark, whose
+# built-in cross-engine query check turns this red if the batched
+# engine's answers ever drift from per-root. Always on (fast at this
+# scale); the JSON goes to a temp dir so the committed trajectory only
+# changes via the opt-in below.
+echo "== build-engine smoke (cross-engine equivalence at tiny scale)"
+SCALE=0.02 DATASETS=Wiki-Vote OUT="$tracedir/BENCH_build_smoke.json" \
+    scripts/bench_build.sh >/dev/null
+
+# Opt-in: full build-engine benchmark (writes BENCH_build.json); enable
+# with BUILD_BENCH=1 scripts/check.sh
+if [ "${BUILD_BENCH:-0}" = "1" ]; then
+    echo "== scripts/bench_build.sh"
+    scripts/bench_build.sh
+fi
+
 echo "all checks passed"
