@@ -18,7 +18,7 @@
 //	parapll-server -index g.idx -pprof -addr :8080     # + /debug/pprof/
 //
 // Endpoints: GET /query?s=&t=   POST /batch   GET /path?s=&t=
-// GET /knn?s=&k=   GET /stats   POST /reload   GET /readyz
+// GET /knn?s=&k=   GET /stats   POST /update   POST /reload   GET /readyz
 // GET /metrics (JSON, or Prometheus text under Accept: text/plain)
 // GET /healthz   GET /debug/slow   GET /debug/trace?sec=N
 // and, with -pprof, the standard net/http/pprof handlers under
@@ -29,6 +29,17 @@
 // (generation-keyed, so a /reload hot-swap can never serve distances
 // from the previous graph; 0 disables); -batch-threads caps the
 // goroutine fan-out of one /batch request.
+//
+// Living-graph flags: -wal DIR turns the server into an updatable
+// deployment — POST /update durably inserts edges (fsynced to
+// DIR/wal.log before they are applied, so acknowledged inserts survive
+// kill -9, and replayed on restart), -compact-every N folds the log
+// into a fresh checkpoint artifact in the background once it holds N
+// records (publishing it through the same generation machinery as
+// /reload), and -compact-threads bounds that rebuild's parallelism.
+// Living-graph mode needs -graph, and it disables the distance cache:
+// distances mutate within a generation, so a cached answer could
+// outlive the insert that shortened it.
 //
 // Observability flags: -slow-ms bounds the /debug/slow slow-query log;
 // -trace-sample N records a span for 1 in N requests; -trace FILE
@@ -47,6 +58,7 @@ import (
 	"time"
 
 	"parapll"
+	"parapll/internal/compact"
 	"parapll/internal/core"
 	"parapll/internal/fileio"
 	"parapll/internal/label"
@@ -57,17 +69,20 @@ import (
 
 func main() {
 	var (
-		indexPath = flag.String("index", "", "pre-built index file (from parapll-index)")
-		graphPath = flag.String("graph", "", "graph file; indexed at startup if -index is not given")
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		threads   = flag.Int("threads", 0, "indexing threads (0 = all cores)")
-		paths     = flag.Bool("paths", false, "also build a path index and serve /path (needs -graph)")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		traceOut  = flag.String("trace", "", "on SIGINT/SIGTERM, write the recorded request timeline here as Chrome trace-event JSON")
-		traceRate = flag.Int64("trace-sample", 0, "record request spans for 1 in N requests (0 = tracing off, 1 = every request); also arms GET /debug/trace")
-		slowMS    = flag.Int64("slow-ms", 100, "log requests slower than this to GET /debug/slow (0 disables)")
-		cacheEnts = flag.Int("cache-entries", 65536, "bound of the (s,t) distance LRU cache, positive and negative answers (0 disables)")
-		batchThr  = flag.Int("batch-threads", 0, "goroutine fan-out per /batch request (0 = min(4, GOMAXPROCS))")
+		indexPath  = flag.String("index", "", "pre-built index file (from parapll-index)")
+		graphPath  = flag.String("graph", "", "graph file; indexed at startup if -index is not given")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		threads    = flag.Int("threads", 0, "indexing threads (0 = all cores)")
+		paths      = flag.Bool("paths", false, "also build a path index and serve /path (needs -graph)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceOut   = flag.String("trace", "", "on SIGINT/SIGTERM, write the recorded request timeline here as Chrome trace-event JSON")
+		traceRate  = flag.Int64("trace-sample", 0, "record request spans for 1 in N requests (0 = tracing off, 1 = every request); also arms GET /debug/trace")
+		slowMS     = flag.Int64("slow-ms", 100, "log requests slower than this to GET /debug/slow (0 disables)")
+		cacheEnts  = flag.Int("cache-entries", 65536, "bound of the (s,t) distance LRU cache, positive and negative answers (0 disables)")
+		batchThr   = flag.Int("batch-threads", 0, "goroutine fan-out per /batch request (0 = min(4, GOMAXPROCS))")
+		walDir     = flag.String("wal", "", "living-graph mode: directory for the edge-update WAL and compaction checkpoints (needs -graph; enables POST /update)")
+		compactN   = flag.Int("compact-every", 0, "living-graph mode: background-compact once the WAL holds this many records (0 = only on restart)")
+		compactThr = flag.Int("compact-threads", 0, "living-graph mode: threads for compaction rebuilds (0 = all cores)")
 	)
 	flag.Parse()
 	if *indexPath == "" && *graphPath == "" {
@@ -75,6 +90,14 @@ func main() {
 	}
 	if *paths && *graphPath == "" {
 		fatalf("-paths needs -graph")
+	}
+	if *walDir != "" && *graphPath == "" {
+		fatalf("-wal needs -graph (the pipeline folds updates into the graph)")
+	}
+	if *walDir != "" && *cacheEnts != 0 {
+		// Living-graph distances mutate within a generation; the
+		// generation-keyed cache would serve overestimates.
+		*cacheEnts = 0
 	}
 
 	srv := server.NewPending(metrics.NewRegistry())
@@ -121,6 +144,10 @@ func main() {
 	// Load or build off-thread so the listener (and /readyz, /healthz,
 	// /metrics) is up from the first moment.
 	go func() {
+		if *walDir != "" {
+			prepareLive(srv, *walDir, *indexPath, *graphPath, *compactN, *compactThr)
+			return
+		}
 		idx, pidx, source := prepare(*indexPath, *graphPath, *paths, *threads)
 		gen := srv.Publish(idx, pidx, source)
 		fmt.Printf("ready: generation %d  (n=%d, entries=%d, LN=%.1f, format=%s, mmap=%v, paths=%v)\n",
@@ -159,6 +186,68 @@ func main() {
 		*addr, *pprofOn)
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fatalf("%v", err)
+	}
+}
+
+// prepareLive boots the living-graph pipeline: open (or create) the
+// WAL directory's checkpoint + log, replay pending updates, install the
+// pipeline as the server's updater, and publish the checkpoint artifact
+// as the first snapshot. Compactions publish their fresh artifact back
+// through the server's /reload machinery, so the generation counter
+// advances exactly once per checkpoint roll.
+func prepareLive(srv *server.Server, walDir, indexPath, graphPath string, compactEvery, compactThreads int) {
+	g, err := parapll.LoadGraph(graphPath)
+	if err != nil {
+		fatalf("loading graph: %v", err)
+	}
+	var seed *label.Index
+	if indexPath != "" {
+		if seed, err = fileio.LoadIndex(indexPath); err != nil {
+			fatalf("loading index: %v", err)
+		}
+	}
+	var pipe *compact.Pipeline
+	t0 := time.Now()
+	pipe, err = compact.Open(compact.Options{
+		Dir:          walDir,
+		Graph:        g,
+		Index:        seed,
+		CompactEvery: compactEvery,
+		Threads:      compactThreads,
+		Tracer:       srv.Tracer,
+		OnPublish: func(rep compact.Report) {
+			gen, err := srv.Reload(pipe.IndexPath())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parapll-server: publishing compacted checkpoint: %v\n", err)
+				return
+			}
+			fmt.Printf("compaction published: generation %d (%s of %d records, swap %s)\n",
+				gen, rep.Mode, rep.Folded, rep.SwapTime.Round(time.Microsecond))
+		},
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "parapll-server: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalf("opening living-graph pipeline: %v", err)
+	}
+	srv.SetUpdater(pipe) // before Publish: snapshots must query the pipeline
+	idx, err := fileio.LoadIndex(pipe.IndexPath())
+	if err != nil {
+		fatalf("loading checkpoint index: %v", err)
+	}
+	gen := srv.Publish(idx, nil, pipe.IndexPath())
+	st := pipe.Stats()
+	fmt.Printf("ready (living-graph): generation %d  (n=%d, wal=%d records, compact-every=%d) in %.2fs\n",
+		gen, idx.NumVertices(), st.WALRecords, compactEvery, time.Since(t0).Seconds())
+	// A WAL already past the threshold (accumulated while down) should
+	// not wait for the next insert to fold.
+	if compactEvery > 0 && st.WALRecords >= compactEvery {
+		go func() {
+			if _, err := pipe.Compact(); err != nil {
+				fmt.Fprintf(os.Stderr, "parapll-server: boot compaction: %v\n", err)
+			}
+		}()
 	}
 }
 

@@ -1,14 +1,24 @@
 package parapll_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"parapll/internal/fileio"
+	"parapll/internal/gen"
+	"parapll/internal/graph"
+	"parapll/internal/sssp"
 )
 
 // TestEndToEndCLI exercises the full two-stage command pipeline the
@@ -147,4 +157,199 @@ func TestEndToEndCLI(t *testing.T) {
 	if !strings.Contains(out, "all exact") {
 		t.Fatalf("cluster index verify failed: %s", out)
 	}
+}
+
+// TestCrashRecoveryE2E exercises the living-graph durability story
+// through the real binary: serve with a WAL, acknowledge updates, die
+// by SIGKILL, restart from the same directory, and answer every probed
+// distance exactly as a from-scratch Dijkstra on base + acknowledged
+// updates. The restart boots with -compact-every low enough that the
+// replayed backlog triggers a background compaction, so the test also
+// covers the checkpoint-roll + rolling-publish leg before a second
+// kill/restart proves the checkpoint alone carries the state.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "parapll-server")
+	if out, err := exec.Command("go", "build", "-o", serverBin, "./cmd/parapll-server").CombinedOutput(); err != nil {
+		t.Fatalf("building parapll-server: %v\n%s", err, out)
+	}
+
+	// A deterministic base graph, written the way parapll-gen would.
+	base := gen.ChungLu(120, 320, 2.2, 77)
+	graphPath := filepath.Join(dir, "graph.bin")
+	if err := fileio.SaveGraph(graphPath, base); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+
+	const addr = "127.0.0.1:18957"
+	url := func(path string) string { return "http://" + addr + path }
+	start := func(compactEvery int) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(serverBin, "-graph", graphPath, "-wal", walDir,
+			"-addr", addr, "-compact-every", strconv.Itoa(compactEvery))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, err := http.Get(url("/readyz"))
+			if err == nil {
+				ready := resp.StatusCode == http.StatusOK
+				resp.Body.Close()
+				if ready {
+					return cmd
+				}
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				cmd.Wait()
+				t.Fatalf("server never became ready: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	walStats := func() (records int, compactions uint64) {
+		t.Helper()
+		resp, err := http.Get(url("/stats"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Wal *struct {
+				WALRecords  int    `json:"wal_records"`
+				Compactions uint64 `json:"compactions_total"`
+			} `json:"wal"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Wal == nil {
+			t.Fatal("/stats has no wal section in living-graph mode")
+		}
+		return st.Wal.WALRecords, st.Wal.Compactions
+	}
+	queryDist := func(s, u graph.Vertex) graph.Dist {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/query?s=%d&t=%d", url(""), s, u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var q struct {
+			Dist int64 `json:"dist"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query(%d,%d): status %d", s, u, resp.StatusCode)
+		}
+		if q.Dist < 0 {
+			return graph.Inf
+		}
+		return graph.Dist(q.Dist)
+	}
+
+	// Boot 1: no auto compaction, so the kill lands with a full WAL.
+	srv := start(0)
+	killed := false
+	defer func() {
+		if !killed {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	r := rand.New(rand.NewSource(78))
+	n := base.NumVertices()
+	var ups []graph.Edge
+	for len(ups) < 6 {
+		u := graph.Vertex(r.Intn(n))
+		v := graph.Vertex(r.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v, W: graph.Dist(1 + r.Intn(5))}
+		body, _ := json.Marshal(map[string]int64{"u": int64(e.U), "v": int64(e.V), "w": int64(e.W)})
+		resp, err := http.Post(url("/update"), "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %v: status %d: %s", e, resp.StatusCode, ack)
+		}
+		ups = append(ups, e)
+	}
+	if recs, _ := walStats(); recs != len(ups) {
+		t.Fatalf("pre-crash WAL holds %d records, want %d", recs, len(ups))
+	}
+
+	// The from-scratch truth for everything the server acknowledged.
+	cur := graph.FromEdges(n, append(base.Edges(), ups...))
+	verify := func(tag string) {
+		t.Helper()
+		for probe := 0; probe < 60; probe++ {
+			s := graph.Vertex(r.Intn(n))
+			u := graph.Vertex(r.Intn(n))
+			if got, want := queryDist(s, u), sssp.Query(cur, s, u); got != want {
+				t.Fatalf("%s: d(%d,%d) = %d, want %d", tag, s, u, got, want)
+			}
+		}
+		for _, e := range ups { // the updated pairs themselves, always
+			if got, want := queryDist(e.U, e.V), sssp.Query(cur, e.U, e.V); got != want {
+				t.Fatalf("%s: updated pair d(%d,%d) = %d, want %d", tag, e.U, e.V, got, want)
+			}
+		}
+	}
+	verify("pre-crash")
+
+	// Crash: SIGKILL, no shutdown hooks, no final flush.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	killed = true
+
+	// Boot 2: replay must reconstruct the acknowledged state, and the
+	// backlog (6 records >= compact-every 3) kicks a boot compaction
+	// that rolls it into a fresh checkpoint and republishes.
+	srv = start(3)
+	killed = false
+	verify("post-crash replay")
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for {
+		recs, compactions := walStats()
+		if recs == 0 && compactions >= 1 {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("boot compaction never drained the WAL (records=%d compactions=%d)", recs, compactions)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	verify("post-compaction")
+
+	// Crash again: now the state lives only in the checkpoint pair.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+	killed = true
+
+	// Boot 3: empty WAL, checkpoint-only recovery.
+	srv = start(0)
+	killed = false
+	if recs, _ := walStats(); recs != 0 {
+		t.Fatalf("checkpoint-only boot left %d WAL records", recs)
+	}
+	verify("post-checkpoint restart")
 }

@@ -68,3 +68,64 @@ func ignoredOK(buf []byte) Dist {
 	//parapll:vet-ignore infguard trusted local checkpoint written by this process
 	return Dist(d)
 }
+
+// WAL-decoder shapes: fixed-width little-endian records whose weight
+// field crosses the wire. A CRC match proves the bytes survived the
+// disk, not that the value is a legal distance — the guard against Inf
+// (and zero) must still run before the conversion.
+
+func crcChecksum(b []byte) uint32 { return uint32(len(b)) } // stand-in for crc32.ChecksumIEEE
+
+func walDecodeGuardedOK(rec []byte) (Dist, error) {
+	if crcChecksum(rec[0:12]) != binary.LittleEndian.Uint32(rec[12:16]) {
+		return 0, errOverflow
+	}
+	w := binary.LittleEndian.Uint32(rec[8:12])
+	if w >= uint32(Inf) || w == 0 {
+		return 0, errOverflow
+	}
+	return Dist(w), nil
+}
+
+func walDecodeCRCOnlyBad(rec []byte) (Dist, error) {
+	// The CRC gate alone: catches torn writes, not a buggy writer that
+	// framed an Inf weight.
+	if crcChecksum(rec[0:12]) != binary.LittleEndian.Uint32(rec[12:16]) {
+		return 0, errOverflow
+	}
+	w := binary.LittleEndian.Uint32(rec[8:12])
+	return Dist(w), nil // want `converted to Dist without a bounds check against Inf`
+}
+
+func walReplayLoopGuardedOK(data []byte, apply func(Dist)) int {
+	n := 0
+	for len(data) >= 16 {
+		rec := data[:16]
+		w := binary.LittleEndian.Uint32(rec[8:12])
+		if w == 0 || w >= uint32(Inf) {
+			break // consistent prefix ends at the first bad record
+		}
+		apply(Dist(w))
+		data = data[16:]
+		n++
+	}
+	return n
+}
+
+func walReplayLoopBad(data []byte, apply func(Dist)) {
+	for len(data) >= 16 {
+		w := binary.LittleEndian.Uint32(data[8:12])
+		apply(Dist(w)) // want `converted to Dist without a bounds check against Inf`
+		data = data[16:]
+	}
+}
+
+func walDecodeWrongFieldBad(rec []byte) (Dist, error) {
+	// Guarding one field does not launder its neighbor.
+	u := binary.LittleEndian.Uint32(rec[0:4])
+	if u >= uint32(Inf) {
+		return 0, errOverflow
+	}
+	w := binary.LittleEndian.Uint32(rec[8:12])
+	return Dist(w), nil // want `converted to Dist without a bounds check against Inf`
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"parapll/internal/compact"
+	"parapll/internal/graph"
+	"parapll/internal/wal"
+)
+
+// UpdateResult is one living-graph measurement per dataset: the cost of
+// each leg of the update lifecycle — durable insert (fsync + label
+// repair), crash-restart replay, and both compaction modes with their
+// write-locked publish windows. The trajectory of these records is
+// BENCH_update.json.
+type UpdateResult struct {
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Updates is the insert count per leg (the WAL backlog each replay
+	// and compaction works through).
+	Updates int `json:"updates"`
+	// InsertsPerSec is acknowledged durable inserts per second: each one
+	// pays the WAL append + fsync and the incremental label repair.
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	// ReplayS is the crash-restart cost: reopening the pipeline from
+	// disk with Updates records in the WAL (checkpoint load + replay).
+	ReplayS         float64 `json:"replay_s"`
+	ReplaysPerSec   float64 `json:"replays_per_sec"`
+	FoldCompactS    float64 `json:"fold_compact_s"`
+	RebuildCompactS float64 `json:"rebuild_compact_s"`
+	// The publish-to-visible latencies: how long queries are blocked by
+	// the write-locked swap window of each mode.
+	FoldSwapUS    float64 `json:"fold_swap_us"`
+	RebuildSwapUS float64 `json:"rebuild_swap_us"`
+}
+
+// updateCount is the WAL backlog each leg works through; large enough
+// to amortize noise, small enough that the per-insert fsync keeps the
+// whole sweep in seconds.
+const updateCount = 150
+
+// RunUpdate benchmarks the living-graph pipeline across the configured
+// datasets: durable insert throughput, WAL replay on reopen, then a
+// fold-mode and a rebuild-mode compaction over the same backlog size,
+// recording each mode's wall time and write-locked swap window. Each
+// fold compaction cross-checks cfg.Queries random pairs against the
+// pre-compaction answers, so a compaction that corrupts distances fails
+// the benchmark instead of recording a bogus time.
+func RunUpdate(cfg Config, threads int) (*Table, []UpdateResult, error) {
+	recs, err := cfg.recipes()
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title: "Living-graph pipeline — durable inserts, replay, compaction (fold vs rebuild)",
+		Header: []string{"dataset", "n", "updates", "ins/s", "replay_ms",
+			"fold_ms", "fold_swap_us", "rebuild_ms", "rebuild_swap_us"},
+	}
+	var out []UpdateResult
+	for _, rec := range recs {
+		g := rec.Generate(cfg.Scale)
+		res, err := measureUpdate(rec.Name, g, threads, cfg.Queries)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: %s: %w", rec.Name, err)
+		}
+		out = append(out, res)
+		t.AddRow(
+			rec.Name,
+			fmt.Sprint(res.Vertices),
+			fmt.Sprint(res.Updates),
+			fmt.Sprintf("%.0f", res.InsertsPerSec),
+			fmt.Sprintf("%.1f", res.ReplayS*1e3),
+			fmt.Sprintf("%.1f", res.FoldCompactS*1e3),
+			fmt.Sprintf("%.0f", res.FoldSwapUS),
+			fmt.Sprintf("%.1f", res.RebuildCompactS*1e3),
+			fmt.Sprintf("%.0f", res.RebuildSwapUS),
+		)
+	}
+	return t, out, nil
+}
+
+// measureUpdate walks one dataset through the full lifecycle:
+//
+//	open → U durable inserts (timed) → close
+//	→ reopen (timed: checkpoint load + WAL replay)
+//	→ fold compaction (timed, answers cross-checked)
+//	→ U more inserts → close → reopen forcing rebuild mode
+//	→ rebuild compaction (timed)
+func measureUpdate(name string, g *graph.Graph, threads, queries int) (UpdateResult, error) {
+	dir, err := os.MkdirTemp("", "parapll-bench-update-")
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	res := UpdateResult{
+		Dataset:  name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Updates:  updateCount,
+	}
+	r := rand.New(rand.NewSource(11))
+	n := g.NumVertices()
+	inserts := func(count int) []wal.Update {
+		ups := make([]wal.Update, 0, count)
+		for len(ups) < count {
+			u := graph.Vertex(r.Intn(n))
+			v := graph.Vertex(r.Intn(n))
+			if u == v {
+				continue
+			}
+			ups = append(ups, wal.Update{U: u, V: v, W: graph.Dist(1 + r.Intn(16))})
+		}
+		return ups
+	}
+	foldOK := compact.Options{Dir: dir, Graph: g, FoldLimit: 1 << 30, Threads: threads}
+
+	// Leg 1: durable insert throughput (the first Open also pays the
+	// initial index build + checkpoint save; that cost is build.go's
+	// story, so it stays outside the timers here).
+	p, err := compact.Open(foldOK)
+	if err != nil {
+		return res, err
+	}
+	batch := inserts(updateCount)
+	t0 := time.Now()
+	for _, up := range batch {
+		if err := p.Update(up.U, up.V, up.W); err != nil {
+			p.Close()
+			return res, err
+		}
+	}
+	if wall := time.Since(t0).Seconds(); wall > 0 {
+		res.InsertsPerSec = float64(updateCount) / wall
+	}
+	p.Close()
+
+	// Leg 2: crash-restart replay of that backlog.
+	t0 = time.Now()
+	p, err = compact.Open(foldOK)
+	if err != nil {
+		return res, err
+	}
+	res.ReplayS = time.Since(t0).Seconds()
+	if res.ReplayS > 0 {
+		res.ReplaysPerSec = float64(updateCount) / res.ReplayS
+	}
+
+	// Leg 3: fold-mode compaction, with a before/after answer check.
+	type pair struct{ s, t graph.Vertex }
+	if queries < 500 {
+		queries = 500
+	}
+	probes := make([]pair, queries)
+	before := make([]graph.Dist, queries)
+	for i := range probes {
+		probes[i] = pair{graph.Vertex(r.Intn(n)), graph.Vertex(r.Intn(n))}
+		before[i] = p.Query(probes[i].s, probes[i].t)
+	}
+	t0 = time.Now()
+	rep, err := p.Compact()
+	if err != nil {
+		p.Close()
+		return res, err
+	}
+	res.FoldCompactS = time.Since(t0).Seconds()
+	res.FoldSwapUS = float64(rep.SwapTime.Microseconds())
+	if rep.Mode != "fold" {
+		p.Close()
+		return res, fmt.Errorf("expected fold compaction, got %q", rep.Mode)
+	}
+	for i, pr := range probes {
+		if got := p.Query(pr.s, pr.t); got != before[i] {
+			p.Close()
+			return res, fmt.Errorf("compaction changed query(%d,%d): %d -> %d",
+				pr.s, pr.t, before[i], got)
+		}
+	}
+
+	// Leg 4: a fresh backlog, then a rebuild-mode compaction (FoldLimit
+	// < 0 disables folding, as a huge post-checkpoint backlog would).
+	for _, up := range inserts(updateCount) {
+		if err := p.Update(up.U, up.V, up.W); err != nil {
+			p.Close()
+			return res, err
+		}
+	}
+	p.Close()
+	p, err = compact.Open(compact.Options{Dir: dir, Graph: g, FoldLimit: -1, Threads: threads})
+	if err != nil {
+		return res, err
+	}
+	defer p.Close()
+	t0 = time.Now()
+	rep, err = p.Compact()
+	if err != nil {
+		return res, err
+	}
+	res.RebuildCompactS = time.Since(t0).Seconds()
+	res.RebuildSwapUS = float64(rep.SwapTime.Microseconds())
+	if rep.Mode != "rebuild" {
+		return res, fmt.Errorf("expected rebuild compaction, got %q", rep.Mode)
+	}
+	return res, nil
+}
+
+// WriteUpdateJSON serializes update results as indented JSON (the
+// BENCH_update.json format).
+func WriteUpdateJSON(w io.Writer, results []UpdateResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

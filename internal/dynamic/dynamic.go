@@ -19,6 +19,7 @@
 package dynamic
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -28,6 +29,23 @@ import (
 	"parapll/internal/label"
 	"parapll/internal/pll"
 	"parapll/internal/vheap"
+)
+
+// Sentinel errors classifying InsertEdge failures, so callers fronting
+// untrusted input (the HTTP /update endpoint, WAL replay) can map them
+// to the right response without string matching.
+var (
+	// ErrInvalid marks a structurally invalid insert: a self loop, an
+	// endpoint outside [0,n), or a weight outside (0, Inf). Zero weights
+	// are rejected alongside Inf because the durable update log frames
+	// weights as strictly positive — an edge of length 0 would make its
+	// endpoints metrically indistinguishable and cannot round-trip
+	// through the WAL.
+	ErrInvalid = errors.New("invalid edge insert")
+	// ErrBatchInFlight means the insert raced a QueryBatch (see the
+	// Index concurrency contract); the caller should drain batches and
+	// retry.
+	ErrBatchInFlight = errors.New("QueryBatch in flight")
 )
 
 // halfEdge is one direction of an inserted edge.
@@ -65,9 +83,24 @@ type Index struct {
 // Build constructs the mutable index from an initial graph with the
 // serial weighted PLL (opt as in pll.Build).
 func Build(g *graph.Graph, opt pll.Options) *Index {
-	idx := pll.Build(g, opt)
+	return FromIndex(g, pll.Build(g, opt))
+}
+
+// FromIndex wraps an already-built finalized index over g as a mutable
+// dynamic index — the seam the living-graph pipeline uses to resume
+// from a compacted checkpoint artifact instead of paying a full PLL
+// build on every restart. The label lists are deep-copied (idx may be
+// mmap-backed and owned by a finalizer; the dynamic index must own
+// heap memory it can rewrite in place), so idx is free to be closed or
+// collected afterwards. Panics if idx does not cover exactly g's
+// vertices — pairing an artifact with the wrong graph is a programming
+// error no insert could ever repair.
+func FromIndex(g *graph.Graph, idx *label.Index) *Index {
 	defer runtime.KeepAlive(idx)
 	n := g.NumVertices()
+	if idx.NumVertices() != n {
+		panic(fmt.Sprintf("dynamic: index covers %d vertices, graph has %d", idx.NumVertices(), n))
+	}
 	x := &Index{
 		base:  g,
 		extra: make([][]halfEdge, n),
@@ -87,6 +120,18 @@ func Build(g *graph.Graph, opt pll.Options) *Index {
 		x.tmp[v] = graph.Inf
 	}
 	return x
+}
+
+// ToIndex snapshots the current label lists into a finalized immutable
+// label.Index — the incremental-fold path of compaction, which reuses
+// the repaired lists instead of rebuilding from scratch. The result is
+// exact for queries (the lists may carry stale overestimate entries
+// for pairs already covered by a better hub; the QUERY minimum ignores
+// them, per the paper's Proposition 1). The caller must hold the same
+// exclusive access an InsertEdge needs: ToIndex reads every list, and
+// a concurrent insert rewrites them in place.
+func (x *Index) ToIndex() *label.Index {
+	return label.NewIndexFromLists(x.lists)
 }
 
 // NumVertices returns the number of vertices (fixed at Build time).
@@ -177,24 +222,37 @@ func (x *Index) QueryBatch(pairs [][2]graph.Vertex, threads int) []graph.Dist {
 	return graph.BatchQuery(x.Query, pairs, threads)
 }
 
+// CheckInsert validates the edge {u,v,w} against the structural rules
+// InsertEdge enforces, without mutating anything. Errors wrap
+// ErrInvalid. The living-graph pipeline calls this before logging the
+// update durably, so a record that reaches the WAL is always one the
+// index will accept on apply and on crash replay.
+func (x *Index) CheckInsert(u, v graph.Vertex, w graph.Dist) error {
+	n := x.NumVertices()
+	if u == v {
+		return fmt.Errorf("dynamic: self loop {%d,%d}: %w", u, v, ErrInvalid)
+	}
+	if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
+		return fmt.Errorf("dynamic: edge {%d,%d} out of range [0,%d): %w", u, v, n, ErrInvalid)
+	}
+	if w == 0 || w == graph.Inf {
+		return fmt.Errorf("dynamic: weight %d outside (0, Inf): %w", w, ErrInvalid)
+	}
+	return nil
+}
+
 // InsertEdge adds the undirected edge {u,v} with weight w and repairs
 // the index. Inserting a parallel edge no lighter than an existing one
 // is a no-op for distances but still recorded in the overlay. Self
-// loops and out-of-range endpoints are rejected, as is an insert while
-// a QueryBatch is in flight (see the Index concurrency contract).
+// loops, out-of-range endpoints and weights outside (0, Inf) are
+// rejected (ErrInvalid), as is an insert while a QueryBatch is in
+// flight (ErrBatchInFlight; see the Index concurrency contract).
 func (x *Index) InsertEdge(u, v graph.Vertex, w graph.Dist) error {
 	if x.batches.Load() != 0 {
-		return fmt.Errorf("dynamic: InsertEdge while a QueryBatch is in flight (queries read the label lists the insert mutates; drain batches first)")
+		return fmt.Errorf("dynamic: InsertEdge while a QueryBatch is in flight (queries read the label lists the insert mutates; drain batches first): %w", ErrBatchInFlight)
 	}
-	n := x.NumVertices()
-	if u == v {
-		return fmt.Errorf("dynamic: self loop {%d,%d}", u, v)
-	}
-	if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
-		return fmt.Errorf("dynamic: edge {%d,%d} out of range [0,%d)", u, v, n)
-	}
-	if w == graph.Inf {
-		return fmt.Errorf("dynamic: infinite weight")
+	if err := x.CheckInsert(u, v, w); err != nil {
+		return err
 	}
 	x.extra[u] = append(x.extra[u], halfEdge{to: v, w: w})
 	x.extra[v] = append(x.extra[v], halfEdge{to: u, w: w})

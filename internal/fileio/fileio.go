@@ -17,13 +17,15 @@ import (
 	"parapll/internal/label"
 )
 
-// writeAtomic writes via a temp file in the same directory and renames
+// WriteAtomic writes via a temp file in the same directory and renames
 // it into place on success. Durability, not just atomicity: the temp
 // file is fsynced before the rename (so the bytes precede the name) and
 // the parent directory is fsynced after it (so the rename itself
 // survives a crash). Without the directory sync a power cut can forget
-// the rename and leave the old file — or no file — behind.
-func writeAtomic(path string, write func(*os.File) error) error {
+// the rename and leave the old file — or no file — behind. Exported for
+// the WAL's checkpoint/truncation rewrites, which need the same
+// discipline for files this package has no format knowledge of.
+func WriteAtomic(path string, write func(*os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
@@ -69,7 +71,7 @@ func syncDir(dir string) error {
 // ".txt"/".edges" for the text edge list, anything else for the binary
 // cache format.
 func SaveGraph(path string, g *graph.Graph) error {
-	return writeAtomic(path, func(f *os.File) error {
+	return WriteAtomic(path, func(f *os.File) error {
 		if isTextGraph(path) {
 			return graph.WriteEdgeList(f, g)
 		}
@@ -138,7 +140,7 @@ func SaveIndexAs(path string, x *label.Index, format string) error {
 		return fmt.Errorf("fileio: unknown index format %q (want %s, %s or %s)",
 			format, label.FormatFixed, label.FormatCompact, label.FormatMmap)
 	}
-	return writeAtomic(path, write)
+	return WriteAtomic(path, write)
 }
 
 // LoadIndex reads an index written by SaveIndex in any format,

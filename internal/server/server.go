@@ -11,6 +11,9 @@
 //	GET  /path?s=A&t=B    → {"path":[...],"dist":D} (404 if no path index)
 //	GET  /knn?s=A&k=N     → k closest vertices with exact distances
 //	GET  /stats           → index size statistics + generation/format
+//	POST /update          ← {"u":A,"v":B,"w":W}
+//	                      → durably inserts an edge when the server runs
+//	                        the living-graph pipeline (-wal); 412 otherwise
 //	POST /reload          ← optional {"path":"other.idx"}
 //	                      → swaps in a freshly loaded index (409 if a
 //	                        reload is already running; see Reload)
@@ -37,6 +40,18 @@
 // index is unmapped by its finalizer once the last query referencing it
 // completes — safe because every label.Index (and knn.Index) reader
 // pins the mapping with runtime.KeepAlive until its last array access.
+//
+// # Living-graph mode
+//
+// With SetUpdater installed (the -wal serving mode), the snapshot's
+// query surface is the updatable pipeline itself instead of the
+// immutable index: distances then mutate WITHIN a generation as edges
+// arrive, so the generation-keyed distance cache is deliberately
+// bypassed — a cached answer could overestimate a pair an insert just
+// shortened. Publish still swaps snapshots for the metadata surfaces
+// (/stats, /knn, /path), which is how a background compaction rolls
+// the checkpoint artifact in through the same /reload + generation
+// machinery a static server uses.
 package server
 
 import (
@@ -52,6 +67,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parapll/internal/compact"
+	"parapll/internal/dynamic"
 	"parapll/internal/graph"
 	"parapll/internal/knn"
 	"parapll/internal/label"
@@ -102,6 +119,19 @@ var (
 	ErrReloadBusy = errors.New("server: reload already in progress")
 )
 
+// Updater is the living-graph seam behind POST /update: an updatable
+// oracle (compact.Pipeline in production) that durably logs and applies
+// edge inserts while serving queries. Stats feeds the /stats "wal"
+// section and the wal.* / compact.* gauges on /metrics.
+type Updater interface {
+	oracle.Oracle
+	Update(u, v graph.Vertex, w graph.Dist) error
+	Stats() compact.Stats
+}
+
+// The production updater.
+var _ Updater = (*compact.Pipeline)(nil)
+
 // Server answers distance queries over HTTP from an atomically swappable
 // index snapshot.
 type Server struct {
@@ -131,6 +161,16 @@ type Server struct {
 	traceLane atomic.Uint64
 	captureMu sync.Mutex // serializes /debug/trace live captures
 	slow      *SlowLog
+
+	// updater, when set, switches the server into living-graph mode:
+	// POST /update accepts edges, every published snapshot queries
+	// through the updater, and the distance cache is bypassed (see the
+	// package doc). Gauges mirror the pipeline's Stats on demand.
+	updater     atomic.Pointer[Updater]
+	walRecords  *metrics.Gauge
+	walBytes    *metrics.Gauge
+	compactGen  *metrics.Gauge
+	lastCompact *metrics.Gauge
 }
 
 // requestLanes is how many trace ring buffers sampled request spans are
@@ -177,6 +217,7 @@ func NewPending(reg *metrics.Registry) *Server {
 	s.handleSnap("/path", http.MethodGet, s.handlePath)
 	s.handleSnap("/knn", http.MethodGet, s.handleKNN)
 	s.handleSnap("/stats", http.MethodGet, s.handleStats)
+	s.handle("/update", http.MethodPost, s.handleUpdate)
 	s.handle("/reload", http.MethodPost, s.handleReload)
 	s.handle("/readyz", http.MethodGet, s.handleReadyz)
 	s.handle("/healthz", http.MethodGet, s.handleHealthz)
@@ -193,6 +234,8 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 	if tr != nil {
 		tr.SetProcessName("parapll-server")
 		tr.SetThreadName(trace.TIDCache, "qcache")
+		tr.SetThreadName(trace.TIDWAL, "wal")
+		tr.SetThreadName(trace.TIDCompact, "compactor")
 		for i := 0; i < requestLanes; i++ {
 			tr.SetThreadName(trace.TIDRequestBase+i, fmt.Sprintf("http lane %d", i))
 		}
@@ -250,6 +293,46 @@ func (s *Server) SetCacheEntries(entries int) {
 // Cache returns the configured distance cache (nil when disabled).
 func (s *Server) Cache() *qcache.Cache { return s.cache }
 
+// SetUpdater switches the server into living-graph mode: POST /update
+// routes edge inserts to u, snapshots published afterwards serve
+// queries through u (uncached — see the package doc), and the wal.* /
+// compact.* gauges mirror u's Stats at every scrape. Call before the
+// first Publish, as cmd/parapll-server does when started with -wal.
+func (s *Server) SetUpdater(u Updater) {
+	if s.walRecords == nil {
+		s.walRecords = s.reg.Gauge("wal.records")
+		s.walBytes = s.reg.Gauge("wal.bytes")
+		s.compactGen = s.reg.Gauge("compact.generation")
+		s.lastCompact = s.reg.Gauge("compact.last_unix_nano")
+	}
+	s.updater.Store(&u)
+}
+
+// Updater returns the installed living-graph updater (nil if none).
+func (s *Server) Updater() Updater {
+	if up := s.updater.Load(); up != nil {
+		return *up
+	}
+	return nil
+}
+
+// refreshUpdaterGauges mirrors the pipeline's stats into the registry.
+// Called at scrape/stat time rather than per update: gauges are
+// point-in-time reads anyway, and this keeps /update's hot path to the
+// pipeline's own work.
+func (s *Server) refreshUpdaterGauges() *compact.Stats {
+	up := s.Updater()
+	if up == nil {
+		return nil
+	}
+	st := up.Stats()
+	s.walRecords.Set(int64(st.WALRecords))
+	s.walBytes.Set(st.WALBytes)
+	s.compactGen.Set(int64(st.Compactions))
+	s.lastCompact.Set(st.LastCompactUnixNano)
+	return &st
+}
+
 // Tracer returns the installed tracer (nil if none).
 func (s *Server) Tracer() *trace.Tracer { return s.tracer.Load() }
 
@@ -281,7 +364,13 @@ func (s *Server) SetLoader(l Loader) { s.loader.Store(&l) }
 func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) uint64 {
 	gen := s.gen.Add(1)
 	ora := oracle.Oracle(idx)
-	if s.cache != nil {
+	if up := s.Updater(); up != nil {
+		// Living-graph mode: the pipeline is the query surface — idx is
+		// only the checkpoint artifact behind /stats, /knn and /path.
+		// No cache wrap: distances mutate within this generation, and a
+		// cached overestimate would survive the insert that shortened it.
+		ora = up
+	} else if s.cache != nil {
 		// label.Index is undirected, so (s,t) and (t,s) share one cache
 		// entry. The wrapper carries this snapshot's generation: a
 		// reload can never serve distances from the previous graph.
@@ -592,6 +681,9 @@ type statsResponse struct {
 	Mmap         bool          `json:"mmap"`
 	Source       string        `json:"source,omitempty"`
 	Cache        *qcache.Stats `json:"cache,omitempty"`
+	// Wal is present only in living-graph mode: the pipeline's WAL
+	// length/bytes and compaction history.
+	Wal *compact.Stats `json:"wal,omitempty"`
 }
 
 func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Request) {
@@ -609,7 +701,79 @@ func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Reques
 		st := s.cache.Stats()
 		resp.Cache = &st
 	}
+	resp.Wal = s.refreshUpdaterGauges()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxUpdateBytes bounds the /update request body (three small ints)
+// before JSON decoding starts.
+const maxUpdateBytes = 1 << 16
+
+// updateRequest / updateResponse are the /update wire types. Fields are
+// int64 so range violations arrive as values we can reject explicitly
+// instead of silently truncating into a "valid" vertex or weight.
+type updateRequest struct {
+	U int64 `json:"u"`
+	V int64 `json:"v"`
+	W int64 `json:"w"`
+}
+type updateResponse struct {
+	Status     string `json:"status"`
+	WalRecords int    `json:"wal_records"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleUpdate serves POST /update: durably insert one undirected edge
+// through the living-graph pipeline. The pipeline acknowledges only
+// after the WAL fsync, so a 200 here means the edge survives kill -9.
+// Without -wal the endpoint answers 412; invalid edges 400; an insert
+// that raced a batch window 409 (retryable).
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	up := s.Updater()
+	if up == nil {
+		writeErr(w, http.StatusPreconditionFailed,
+			errors.New("server was started without -wal (no living-graph pipeline)"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxUpdateBytes)
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxUpdateBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
+		return
+	}
+	n := int64(up.NumVertices())
+	if req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("edge {%d,%d} out of range [0,%d)", req.U, req.V, n))
+		return
+	}
+	if req.W <= 0 || req.W >= int64(graph.Inf) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("weight %d outside (0, %d)", req.W, graph.Inf))
+		return
+	}
+	if err := up.Update(graph.Vertex(req.U), graph.Vertex(req.V), graph.Dist(req.W)); err != nil {
+		switch {
+		case errors.Is(err, dynamic.ErrInvalid):
+			writeErr(w, http.StatusBadRequest, err)
+		case errors.Is(err, dynamic.ErrBatchInFlight):
+			writeErr(w, http.StatusConflict, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Status:     "ok",
+		WalRecords: up.Stats().WALRecords,
+		Generation: s.Generation(),
+	})
 }
 
 // maxReloadBytes bounds the /reload request body (a single file path)
@@ -687,6 +851,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshUpdaterGauges() // wal.*/compact.* gauges are scrape-time reads
 	// Content negotiation: Prometheus scrapers ask for text/plain (the
 	// exposition format); everything else keeps the JSON snapshot.
 	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") &&

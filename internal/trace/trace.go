@@ -63,6 +63,12 @@ const (
 	// TIDCache is the serving distance cache's lane: sampled
 	// qcache.query spans (arg hit=0/1) land here.
 	TIDCache = 990
+	// TIDWAL is the living-graph pipeline's durable-log lane: sampled
+	// wal.append spans (args u, v, w) land here.
+	TIDWAL = 980
+	// TIDCompact is the background compactor's lane: one compact.run
+	// span per compaction (args folded, tail, mode 0=fold/1=rebuild).
+	TIDCompact = 981
 	// TIDSync is the cluster build's foreground sync lane (record+pack).
 	TIDSync = 900
 	// TIDSyncBG is the cluster build's background lane (exchange+merge).

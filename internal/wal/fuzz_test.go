@@ -1,0 +1,121 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+// seedWALFiles builds representative log images: empty, populated,
+// truncated mid-record, bit-flipped, and non-WAL garbage.
+func seedWALFiles(tb testing.TB) [][]byte {
+	build := func(ups []Update) []byte {
+		data := header()
+		for _, up := range ups {
+			var rec [RecordSize]byte
+			encodeRecord(rec[:], up)
+			data = append(data, rec[:]...)
+		}
+		return data
+	}
+	files := [][]byte{
+		build(nil),
+		build([]Update{{U: 0, V: 1, W: 1}}),
+		build([]Update{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 7}, {U: 1, V: 3, W: graph.Inf - 1}}),
+	}
+	if whole := files[2]; true {
+		files = append(files, whole[:len(whole)-5]) // torn tail
+		flipped := append([]byte(nil), whole...)
+		flipped[HeaderSize+RecordSize+3] ^= 0x10 // corrupt middle record
+		files = append(files, flipped)
+	}
+	files = append(files, []byte("PWALnope"), []byte{}, []byte("PIDM"))
+	return files
+}
+
+// FuzzWALReplay drives the replay decoder with arbitrary bytes. It must
+// never panic, must only admit semantically valid records (distinct
+// in-range endpoints, 0 < w < Inf), must consume a whole-record prefix,
+// and the accepted prefix must survive an Open/append/reopen cycle
+// bit-identically — the consistency contract crash recovery rests on.
+func FuzzWALReplay(f *testing.F) {
+	for _, data := range seedWALFiles(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ups, consumed := Replay(data)
+		if consumed == 0 {
+			if len(ups) != 0 {
+				t.Fatalf("no bytes consumed but %d updates replayed", len(ups))
+			}
+			return
+		}
+		if consumed < HeaderSize || consumed > len(data) {
+			t.Fatalf("consumed %d outside [header,%d]", consumed, len(data))
+		}
+		if (consumed-HeaderSize)%RecordSize != 0 {
+			t.Fatalf("consumed %d is not a whole-record prefix", consumed)
+		}
+		if got := (consumed - HeaderSize) / RecordSize; got != len(ups) {
+			t.Fatalf("consumed %d records but returned %d updates", got, len(ups))
+		}
+		for i, up := range ups {
+			if up.U == up.V || int32(up.U) < 0 || int32(up.V) < 0 {
+				t.Fatalf("update %d has invalid endpoints %v", i, up)
+			}
+			if up.W == 0 || up.W >= graph.Inf {
+				t.Fatalf("update %d has invalid weight %d", i, up.W)
+			}
+		}
+		// Open must accept the same image, truncate the junk tail, and
+		// replay the identical prefix — then keep accepting appends.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, got, err := Open(path)
+		if err != nil {
+			t.Fatalf("Open rejected a replayable image: %v", err)
+		}
+		defer l.Close()
+		if len(got) != len(ups) {
+			t.Fatalf("Open replayed %d updates, Replay %d", len(got), len(ups))
+		}
+		for i := range ups {
+			if got[i] != ups[i] {
+				t.Fatalf("update %d: Open %v vs Replay %v", i, got[i], ups[i])
+			}
+		}
+		if err := l.Append(0, 1<<20, 9); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if l.Len() != len(ups)+1 {
+			t.Fatalf("Len after append = %d, want %d", l.Len(), len(ups)+1)
+		}
+	})
+}
+
+// TestRegenFuzzCorpus writes the seed WAL images as go-fuzz corpus
+// files under testdata/fuzz/FuzzWALReplay. It is a no-op unless
+// PARAPLL_REGEN_CORPUS=1, so the checked-in corpus stays reproducible
+// from the encoder instead of being hand-maintained hex.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("PARAPLL_REGEN_CORPUS") != "1" {
+		t.Skip("set PARAPLL_REGEN_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, data := range seedWALFiles(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		name := filepath.Join(dir, fmt.Sprintf("seed-wal-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Living-graph benchmark: the update lifecycle end to end — durable
+# insert throughput (WAL append + fsync + incremental label repair),
+# crash-restart replay of the backlog, then a fold-mode and a
+# rebuild-mode compaction over the same backlog size, recording each
+# mode's wall time and its write-locked publish window (the
+# publish-to-visible latency queries actually feel). The fold leg
+# cross-checks query answers before/after the compaction inside the
+# bench, so a compaction that corrupts distances fails the run instead
+# of recording a bogus time. Writes BENCH_update.json at the repo root
+# plus a human-readable table to stdout.
+#
+# Usage:
+#   scripts/bench_update.sh                   # default scale
+#   SCALE=0.02 scripts/bench_update.sh        # quick smoke
+#   OUT=results/BENCH_update.json scripts/bench_update.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-0.1}"
+OUT="${OUT:-BENCH_update.json}"
+DATASETS="${DATASETS:-Wiki-Vote,Gnutella,RI-USA}"
+THREADS="${THREADS:-4}"
+
+go run ./cmd/parapll-bench \
+    -exp update \
+    -scale "$SCALE" \
+    -datasets "$DATASETS" \
+    -threads "$THREADS" \
+    -json "$OUT"
+
+echo "update benchmark records -> $OUT"

@@ -36,6 +36,14 @@ FUZZTIME="${FUZZTIME:-5s}"
 echo "== fuzz smoke (${FUZZTIME} per target)"
 go test -fuzz=FuzzDecodeFrame -fuzztime="$FUZZTIME" -run '^$' ./internal/cluster/
 go test -fuzz=FuzzOpenPIDM -fuzztime="$FUZZTIME" -run '^$' ./internal/label/
+go test -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" -run '^$' ./internal/wal/
+
+# Crash-recovery smoke: the living-graph durability contract end to
+# end through the real binary — serve with -wal, acknowledge updates,
+# kill -9, restart, verify every probed distance against a from-scratch
+# Dijkstra (tier-1 runs it too; this names it so a red run points here).
+echo "== crash-recovery e2e (serve -> update -> kill -9 -> replay -> compact)"
+go test -run TestCrashRecoveryE2E -count=1 .
 
 # Cross-compile smoke: the mmap open path is split by build tags
 # (//go:build unix vs the pure-read fallback), so compile the tree for a
@@ -109,6 +117,14 @@ SCALE=0.02 DATASETS=Wiki-Vote OUT="$tracedir/BENCH_build_smoke.json" \
 if [ "${BUILD_BENCH:-0}" = "1" ]; then
     echo "== scripts/bench_build.sh"
     scripts/bench_build.sh
+fi
+
+# Opt-in: living-graph update benchmark (writes BENCH_update.json) —
+# durable insert throughput, WAL replay, fold/rebuild compaction walls
+# and publish windows; enable with UPDATE_BENCH=1 scripts/check.sh
+if [ "${UPDATE_BENCH:-0}" = "1" ]; then
+    echo "== scripts/bench_update.sh"
+    scripts/bench_update.sh
 fi
 
 echo "all checks passed"
