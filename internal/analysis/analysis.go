@@ -1,8 +1,10 @@
 // Package analysis is the repo's custom static-analysis suite: a small,
 // dependency-free framework in the mold of golang.org/x/tools/go/analysis
-// (which this module deliberately does not depend on) plus the four
+// (which this module deliberately does not depend on) plus the eight
 // analyzers that turn the repo's convention-documented invariants into
-// machine-checked ones:
+// machine-checked ones.
+//
+// Four are AST-local:
 //
 //   - mmapkeepalive: every reader of a finalizer-managed mmap array must
 //     pin the owning index with runtime.KeepAlive after its last
@@ -11,11 +13,26 @@
 //     must be accessed through sync/atomic everywhere, and structs
 //     embedding typed atomics must not be copied by value.
 //   - lockedblocking: no channel operations, mpi collectives or Waits
-//     while a sync.Mutex/RWMutex is held in the cluster/mpi/task packages
-//     (the cluster deadlock class).
+//     while a sync.Mutex/RWMutex is held in the cluster/mpi/task and
+//     compact/wal/server packages (the cluster deadlock class).
 //   - infguard: a decoded distance must be bounds-checked against
 //     graph.Inf before being stored into a label structure (the hostile
 //     wire-frame class).
+//
+// Four are interprocedural, built on the call-graph/summary layer in
+// interproc.go:
+//
+//   - lockorder: persistent mutexes are acquired in one global order —
+//     no cycles, no re-acquisition, no transitively blocking call while
+//     a write lock is held.
+//   - snapgen: atomic.Pointer snapshots load once per scope (even
+//     through helpers), and cache generation arguments are live and
+//     match the snapshot published in the same scope.
+//   - gorolife: goroutines in server/compact/mpi must reach a shutdown
+//     primitive (done channel, context, WaitGroup); fire-and-forget
+//     spawns are findings.
+//   - durability: WAL/checkpoint paths check Sync/Close/WriteAtomic
+//     errors and never apply in-memory state before the durable write.
 //
 // cmd/parapll-vet is the multichecker driver; analysistest provides
 // golden-file testing for individual analyzers.
@@ -56,6 +73,11 @@ type Pass struct {
 	Pkg      *types.Package
 	PkgPath  string
 	Info     *types.Info
+	// Prog is the interprocedural view (call graph + per-function
+	// summaries) over every package in the same RunAnalyzers call; see
+	// interproc.go. Program-wide analyzers report only the findings
+	// positioned in this pass's package.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -82,9 +104,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the four
+// AST-local analyzers from PR 4, then the four interprocedural ones
+// built on the call-graph/summary layer (interproc.go).
 func All() []*Analyzer {
-	return []*Analyzer{MmapKeepAlive, AtomicField, LockedBlocking, InfGuard}
+	return []*Analyzer{
+		MmapKeepAlive, AtomicField, LockedBlocking, InfGuard,
+		LockOrder, SnapGen, GoroLife, Durability,
+	}
 }
 
 // ignoreDirective is the comment prefix that suppresses a finding on its
@@ -98,11 +125,32 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// ignoreRecord is one vet-ignore directive with its suppression count,
+// shared by both line keys it covers.
+type ignoreRecord struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	uses     int
+}
+
+// IgnoreUse is one vet-ignore directive as seen by a full run: where it
+// is, what it suppresses, why, and how many findings it actually
+// suppressed. A directive with Uses == 0 whose analyzer was part of the
+// run is stale — the code it excused no longer trips the analyzer.
+type IgnoreUse struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	Uses     int
+}
+
 // collectIgnores scans a package's comments for vet-ignore directives.
 // Malformed directives (missing analyzer or reason) are reported as
 // findings so a suppression can never silently mean nothing.
-func collectIgnores(pkg *Package, malformed *[]Finding) map[ignoreKey]bool {
-	ignores := make(map[ignoreKey]bool)
+func collectIgnores(pkg *Package, malformed *[]Finding) (map[ignoreKey]*ignoreRecord, []*ignoreRecord) {
+	ignores := make(map[ignoreKey]*ignoreRecord)
+	var records []*ignoreRecord
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -120,22 +168,41 @@ func collectIgnores(pkg *Package, malformed *[]Finding) map[ignoreKey]bool {
 					})
 					continue
 				}
+				rec := &ignoreRecord{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				}
+				records = append(records, rec)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					ignores[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+					ignores[ignoreKey{file: pos.Filename, line: line, analyzer: fields[0]}] = rec
 				}
 			}
 		}
 	}
-	return ignores
+	return ignores, records
 }
 
 // RunAnalyzers runs every analyzer over every package and returns the
 // surviving findings sorted by position. Analyzer errors (not findings)
 // abort the run.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAnalyzersVerbose(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersVerbose is RunAnalyzers plus the vet-ignore inventory:
+// every directive seen, with how many findings it suppressed. Callers
+// running the full suite use it to fail on stale suppressions
+// (cmd/parapll-vet, vet_test.go); analysistest runs single analyzers
+// and ignores the inventory.
+func RunAnalyzersVerbose(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []IgnoreUse, error) {
+	prog := BuildProgram(pkgs)
 	var findings []Finding
+	var allRecords []*ignoreRecord
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg, &findings)
+		ignores, records := collectIgnores(pkg, &findings)
+		allRecords = append(allRecords, records...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -144,16 +211,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:      pkg.Types,
 				PkgPath:  pkg.Path,
 				Info:     pkg.Info,
+				Prog:     prog,
 			}
 			pass.report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
-				if ignores[ignoreKey{file: pos.Filename, line: pos.Line, analyzer: a.Name}] {
+				if rec := ignores[ignoreKey{file: pos.Filename, line: pos.Line, analyzer: a.Name}]; rec != nil {
+					rec.uses++
 					return
 				}
 				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
@@ -167,5 +236,41 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
+	var uses []IgnoreUse
+	for _, rec := range allRecords {
+		uses = append(uses, IgnoreUse{Pos: rec.pos, Analyzer: rec.analyzer, Reason: rec.reason, Uses: rec.uses})
+	}
+	sort.Slice(uses, func(i, j int) bool {
+		a, b := uses[i], uses[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return findings, uses, nil
+}
+
+// StaleIgnores filters an inventory down to the stale directives: those
+// whose analyzer was part of the run yet suppressed nothing, plus those
+// naming an analyzer that does not exist at all (a typo never
+// suppresses anything either).
+func StaleIgnores(uses []IgnoreUse, ran []*Analyzer) []IgnoreUse {
+	names := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		names[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var stale []IgnoreUse
+	for _, u := range uses {
+		if u.Uses > 0 {
+			continue
+		}
+		if names[u.Analyzer] || !known[u.Analyzer] {
+			stale = append(stale, u)
+		}
+	}
+	return stale
 }

@@ -41,3 +41,35 @@ func TestLockedBlockingUngated(t *testing.T) {
 func TestInfGuard(t *testing.T) {
 	analysistest.Run(t, "testdata/infguard", analysis.InfGuard, "test/inftest")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", analysis.LockOrder, "test/internal/compact/lockordertest")
+}
+
+// TestLockOrderUngated loads the lockorder corpus under a path outside
+// the gated trees and expects silence despite the seeded cycles.
+func TestLockOrderUngated(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/lockorder", "test/other/lockordertest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.LockOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding outside gated packages: %s", f)
+	}
+}
+
+func TestSnapGen(t *testing.T) {
+	analysistest.Run(t, "testdata/snapgen", analysis.SnapGen, "test/internal/server/snaptest")
+}
+
+func TestGoroLife(t *testing.T) {
+	analysistest.Run(t, "testdata/gorolife", analysis.GoroLife, "test/internal/compact/gorotest")
+}
+
+func TestDurability(t *testing.T) {
+	analysistest.Run(t, "testdata/durability", analysis.Durability, "test/internal/wal/durtest")
+}

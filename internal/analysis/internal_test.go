@@ -15,7 +15,10 @@ func TestLockedBlockingApplies(t *testing.T) {
 		"parapll/internal/task":    true,
 		"parapll/internal/trace":   true,
 		"parapll/internal/label":   false,
-		"parapll/internal/server":  false,
+		"parapll/internal/server":  true,
+		"parapll/internal/compact": true,
+		"parapll/internal/wal":     true,
+		"parapll/internal/graph":   false,
 		"test/internal/mpi/fake":   true,
 	} {
 		if got := lockedBlockingApplies(path); got != want {
@@ -46,16 +49,27 @@ var a = 1
 var b = 2
 `)
 	var malformed []Finding
-	ignores := collectIgnores(pkg, &malformed)
+	ignores, records := collectIgnores(pkg, &malformed)
 
-	// The well-formed directive suppresses its own line and the next.
+	// The well-formed directive suppresses its own line and the next,
+	// through one shared record so uses are counted once.
 	for _, line := range []int{3, 4} {
-		if !ignores[ignoreKey{file: "ignore_test_src.go", line: line, analyzer: "infguard"}] {
+		if ignores[ignoreKey{file: "ignore_test_src.go", line: line, analyzer: "infguard"}] == nil {
 			t.Errorf("line %d not suppressed for infguard", line)
 		}
 	}
-	if ignores[ignoreKey{file: "ignore_test_src.go", line: 4, analyzer: "atomicfield"}] {
+	if a, b := ignores[ignoreKey{file: "ignore_test_src.go", line: 3, analyzer: "infguard"}],
+		ignores[ignoreKey{file: "ignore_test_src.go", line: 4, analyzer: "infguard"}]; a != b {
+		t.Error("the two covered lines must share one use-counting record")
+	}
+	if ignores[ignoreKey{file: "ignore_test_src.go", line: 4, analyzer: "atomicfield"}] != nil {
 		t.Error("suppression leaked across analyzers")
+	}
+	if len(records) != 1 {
+		t.Fatalf("got %d records, want 1 (the well-formed directive)", len(records))
+	}
+	if records[0].analyzer != "infguard" || records[0].reason != "trusted input" {
+		t.Errorf("unexpected record: %+v", records[0])
 	}
 
 	// The reason-less directive is itself a finding and suppresses nothing.
@@ -68,7 +82,7 @@ var b = 2
 	if malformed[0].Pos.Line != 6 {
 		t.Errorf("malformed finding at line %d, want 6", malformed[0].Pos.Line)
 	}
-	if ignores[ignoreKey{file: "ignore_test_src.go", line: 7, analyzer: "atomicfield"}] {
+	if ignores[ignoreKey{file: "ignore_test_src.go", line: 7, analyzer: "atomicfield"}] != nil {
 		t.Error("malformed directive must not suppress anything")
 	}
 }

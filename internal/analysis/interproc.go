@@ -1,0 +1,835 @@
+// interproc.go is the interprocedural layer under the lockorder,
+// snapgen, gorolife and durability analyzers: a lightweight call graph
+// over every function declaration and function literal in the loaded
+// packages, plus a per-function fact summary propagated bottom-up to a
+// fixed point. It is computed once per RunAnalyzers call (one AST walk
+// per function, no SSA, no new dependencies) and handed to each Pass as
+// Pass.Prog.
+//
+// Edges distinguish how control reaches the callee:
+//
+//   - EdgeCall: a plain or deferred call — the callee runs on the
+//     caller's goroutine, so its facts (blocking, lock acquisitions,
+//     fsyncs, snapshot loads) flow into the caller's summary.
+//   - EdgeGo: a `go` statement — the callee runs on a new goroutine;
+//     its facts do NOT flow into the spawner. gorolife inspects these
+//     edges directly.
+//   - EdgeRef: a function or method value that escapes without being
+//     invoked here (stored, passed as a callback). Recorded for
+//     call-graph consumers, never propagated: a registered handler's
+//     facts are not the registrar's.
+//
+// Calls through interface methods are resolved to every named type in
+// the loaded packages that implements the interface (types.Implements),
+// so a summary survives the oracle.Oracle / core.Engine seams. Calls
+// through plain function variables stay unresolved — a deliberate,
+// documented hole (the repo invokes such values only for callbacks like
+// OnPublish).
+//
+// The blocking fact is *external* blocking only: a channel op or Wait
+// whose operand is declared inside the function body (a scratch errc or
+// a local WaitGroup the function itself drains) cannot couple the
+// caller to another component's critical section and is exempt. This is
+// what lets compact.Compact call the build engines — which fan out
+// workers and wg.Wait() on a local WaitGroup — while holding compactMu
+// without a lockorder false positive.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call edge transfers control.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a synchronous (plain or deferred) call on the caller's
+	// goroutine; callee facts propagate to the caller.
+	EdgeCall EdgeKind = iota
+	// EdgeGo is a `go` statement; the callee runs concurrently and its
+	// facts do not propagate to the spawner.
+	EdgeGo
+	// EdgeRef is a function value reference that is not invoked at this
+	// site; facts do not propagate.
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeGo:
+		return "go"
+	default:
+		return "ref"
+	}
+}
+
+// CallEdge is one resolved outgoing edge of a function.
+type CallEdge struct {
+	Callee *FuncInfo
+	Kind   EdgeKind
+	// Pos is the call (or `go`, or reference) site in the caller.
+	Pos token.Pos
+	// Iface marks edges resolved through an interface method: the
+	// callee is one of possibly several implementations.
+	Iface bool
+}
+
+// FuncFacts is the bottom-up summary of one function. After
+// Program.resolve it includes everything reachable through EdgeCall
+// edges; EdgeGo and EdgeRef edges contribute nothing.
+type FuncFacts struct {
+	// Blocking is the position of the first external blocking operation
+	// reachable on this function's goroutine (channel op, no-default
+	// select, Wait on a non-local object, mpi traffic), or NoPos.
+	Blocking token.Pos
+	// BlockingDesc names the operation, with the call chain prefixed
+	// when the op is reached through callees.
+	BlockingDesc string
+	// Acquires maps persistent mutexes (struct fields or package-level
+	// vars of type sync.Mutex/RWMutex) acquired on this goroutine to the
+	// position where the acquisition is first reached from here.
+	Acquires map[types.Object]token.Pos
+	// Syncs reports whether a durable write barrier — (*os.File).Sync,
+	// directly or transitively (e.g. through fileio.WriteAtomic) — is
+	// reached on this goroutine.
+	Syncs bool
+	// Applies reports whether a non-durable in-memory index mutation (a
+	// call to a method named InsertEdge that does not itself sync) is
+	// reached on this goroutine. Calls to functions that both apply and
+	// sync are treated as durable, not as applies: they established the
+	// log-before-apply order internally.
+	Applies bool
+	// LoadsPtr maps atomic.Pointer fields (or package vars) whose Load
+	// is reached on this goroutine to the first position reaching it.
+	LoadsPtr map[types.Object]token.Pos
+	// Lifecycle reports whether a shutdown/completion primitive is
+	// touched: any channel operation (including close and select),
+	// context.Context Done/Err/Deadline, or a sync.WaitGroup method. A
+	// goroutine with no reachable lifecycle primitive is fire-and-forget.
+	Lifecycle bool
+}
+
+// applySite is one direct call to a method named InsertEdge, kept so
+// the Applies fact can be decided after Syncs has converged.
+type applySite struct {
+	pos token.Pos
+	// callees are the resolved implementations (one for a concrete
+	// call, several through an interface, empty if unresolvable).
+	callees []*FuncInfo
+}
+
+// ptrLoad is one direct atomic.Pointer Load site.
+type ptrLoad struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// Spawn is one `go` statement with its resolved entry points.
+type Spawn struct {
+	Pos token.Pos
+	// Targets are the goroutine entry functions (a literal, a concrete
+	// function, or every implementation of an interface method).
+	Targets []*FuncInfo
+	// Unresolved marks spawns through plain function variables, whose
+	// entry cannot be determined statically.
+	Unresolved bool
+}
+
+// FuncInfo is one node of the call graph: a function declaration or a
+// function literal.
+type FuncInfo struct {
+	// Obj is the declared function object; nil for function literals.
+	Obj *types.Func
+	// Node is the *ast.FuncDecl or *ast.FuncLit.
+	Node ast.Node
+	// Body is the function body; nil for bodyless declarations.
+	Body *ast.BlockStmt
+	// Pkg is the package the function is declared in.
+	Pkg *Package
+	// Name is a human-readable name: "(*Pipeline).Compact" for methods,
+	// "Open" for functions, "Open·func1" for literals.
+	Name string
+	// Edges are the outgoing call/go/ref edges in source order.
+	Edges []CallEdge
+	// Spawns are the `go` statements launched from this body.
+	Spawns []Spawn
+	// Facts is the summary; transitive after Program resolution.
+	Facts FuncFacts
+
+	applySites []applySite
+	loads      []ptrLoad
+}
+
+// DirectLoads returns the atomic.Pointer Load sites lexically inside
+// this function body (not through callees), in source order.
+func (f *FuncInfo) DirectLoads() []ptrLoad { return f.loads }
+
+// Program is the interprocedural view of one RunAnalyzers invocation.
+type Program struct {
+	// Funcs lists every function and literal in deterministic order
+	// (package load order, then file order, then source order).
+	Funcs []*FuncInfo
+
+	byObj  map[*types.Func]*FuncInfo
+	byNode map[ast.Node]*FuncInfo
+	named  []*types.Named
+	impls  map[*types.Func][]*FuncInfo
+	cache  map[string]interface{}
+}
+
+// InfoOf returns the FuncInfo for an *ast.FuncDecl or *ast.FuncLit, or
+// nil.
+func (p *Program) InfoOf(n ast.Node) *FuncInfo { return p.byNode[n] }
+
+// FuncOf returns the FuncInfo for a declared function, or nil for
+// literals, bodyless and out-of-module functions.
+func (p *Program) FuncOf(fn *types.Func) *FuncInfo { return p.byObj[fn] }
+
+// FuncsOf returns the functions (declarations and literals) of one
+// package, in source order.
+func (p *Program) FuncsOf(pkg *Package) []*FuncInfo {
+	var out []*FuncInfo
+	for _, f := range p.Funcs {
+		if f.Pkg == pkg {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Cached memoizes a program-wide computation under key, so an analyzer
+// that builds whole-program state (the lock graph) computes it once and
+// reports per-package slices of it.
+func (p *Program) Cached(key string, compute func() interface{}) interface{} {
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := compute()
+	p.cache[key] = v
+	return v
+}
+
+// Implementations resolves an interface method to the declared methods
+// of every named type in the program that implements the interface.
+// Memoized per abstract method.
+func (p *Program) Implementations(m *types.Func) []*FuncInfo {
+	if out, ok := p.impls[m]; ok {
+		return out
+	}
+	var out []*FuncInfo
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		p.impls[m] = nil
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		p.impls[m] = nil
+		return nil
+	}
+	for _, named := range p.named {
+		if named.TypeParams() != nil {
+			continue // no generic instantiation tracking
+		}
+		if _, ok := named.Underlying().(*types.Interface); ok {
+			continue
+		}
+		var target types.Type
+		if types.Implements(named, iface) {
+			target = named
+		} else if ptr := types.NewPointer(named); types.Implements(ptr, iface) {
+			target = ptr
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(target, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			if info := p.byObj[fn]; info != nil {
+				out = append(out, info)
+			}
+		}
+	}
+	p.impls[m] = out
+	return out
+}
+
+// BuildProgram constructs and resolves the call graph + summaries over
+// the loaded packages.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		byObj:  make(map[*types.Func]*FuncInfo),
+		byNode: make(map[ast.Node]*FuncInfo),
+		impls:  make(map[*types.Func][]*FuncInfo),
+		cache:  make(map[string]interface{}),
+	}
+
+	// Pass 1: index every function declaration, every function literal,
+	// and every named type (the implements-candidate universe). AST
+	// order keeps Funcs deterministic across loads.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			var enclosing []string // name stack for literal labels
+			litSeq := 0
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncDecl:
+					fn, _ := pkg.Info.Defs[x.Name].(*types.Func)
+					info := &FuncInfo{Obj: fn, Node: x, Body: x.Body, Pkg: pkg, Name: funcDisplayName(fn, x)}
+					p.Funcs = append(p.Funcs, info)
+					p.byNode[x] = info
+					if fn != nil {
+						p.byObj[fn] = info
+					}
+					enclosing = []string{info.Name}
+					litSeq = 0
+				case *ast.FuncLit:
+					litSeq++
+					name := fmt.Sprintf("func%d", litSeq)
+					if len(enclosing) > 0 {
+						name = fmt.Sprintf("%s·func%d", enclosing[0], litSeq)
+					}
+					info := &FuncInfo{Node: x, Body: x.Body, Pkg: pkg, Name: name}
+					p.Funcs = append(p.Funcs, info)
+					p.byNode[x] = info
+				case *ast.TypeSpec:
+					if tn, ok := pkg.Info.Defs[x.Name].(*types.TypeName); ok {
+						if named, ok := tn.Type().(*types.Named); ok {
+							p.named = append(p.named, named)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: walk each body for edges and direct facts.
+	for _, info := range p.Funcs {
+		if info.Body == nil {
+			continue
+		}
+		w := &ipWalker{prog: p, info: info, pkg: info.Pkg}
+		w.walk()
+	}
+
+	p.resolve()
+	return p
+}
+
+// funcDisplayName renders "(*Pipeline).Compact" / "Open".
+func funcDisplayName(fn *types.Func, decl *ast.FuncDecl) string {
+	if fn == nil {
+		return decl.Name.Name
+	}
+	if named := receiverNamed(fn); named != nil {
+		recv := named.Obj().Name()
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+				recv = "*" + recv
+			}
+		}
+		return fmt.Sprintf("(%s).%s", recv, fn.Name())
+	}
+	return fn.Name()
+}
+
+// ipWalker extracts edges and direct facts from one function body.
+type ipWalker struct {
+	prog *Program
+	info *FuncInfo
+	pkg  *Package
+
+	goCalls    map[*ast.CallExpr]bool // calls that are GoStmt bodies
+	invoked    map[*ast.FuncLit]EdgeKind
+	calleeExpr map[ast.Expr]bool // the Fun expr of each visited call
+}
+
+func (w *ipWalker) walk() {
+	w.goCalls = make(map[*ast.CallExpr]bool)
+	w.invoked = make(map[*ast.FuncLit]EdgeKind)
+	w.calleeExpr = make(map[ast.Expr]bool)
+	ast.Inspect(w.info.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			w.goCalls[x.Call] = true
+		case *ast.CallExpr:
+			w.call(x)
+		case *ast.FuncLit:
+			// Pre-order guarantees any invoking CallExpr was classified
+			// first. The literal's own body is its own FuncInfo.
+			kind, ok := w.invoked[x]
+			if !ok {
+				kind = EdgeRef
+			}
+			if lit := w.prog.byNode[x]; lit != nil {
+				w.addEdge(lit, kind, x.Pos(), false)
+				if kind == EdgeGo {
+					w.info.Spawns = append(w.info.Spawns, Spawn{Pos: x.Pos(), Targets: []*FuncInfo{lit}})
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.info.Facts.Lifecycle = true
+				w.blocking(x.Pos(), x.X, "channel receive")
+			}
+		case *ast.SendStmt:
+			w.info.Facts.Lifecycle = true
+			w.blocking(x.Pos(), x.Chan, "channel send")
+		case *ast.RangeStmt:
+			if tv, ok := w.pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.info.Facts.Lifecycle = true
+					w.blocking(x.X.Pos(), x.X, "channel receive (range)")
+				}
+			}
+		case *ast.SelectStmt:
+			w.info.Facts.Lifecycle = true
+			w.selectStmt(x)
+		case *ast.SelectorExpr:
+			w.methodValue(x)
+		case *ast.Ident:
+			w.funcValue(x)
+		}
+		return true
+	})
+}
+
+// selectStmt marks blocking for selects with no default clause whose
+// channels are not all function-local.
+func (w *ipWalker) selectStmt(sel *ast.SelectStmt) {
+	external := false
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return // default clause: cannot block
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if w.external(comm.Chan) {
+				external = true
+			}
+		default:
+			// Receive: find the arrow operand in the clause.
+			ast.Inspect(cc.Comm, func(n ast.Node) bool {
+				if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && w.external(u.X) {
+					external = true
+				}
+				return !external
+			})
+		}
+	}
+	if external {
+		w.setBlocking(sel.Pos(), "select without default")
+	}
+}
+
+// call classifies one call expression: mutex/atomic/file/lifecycle
+// direct facts, plus callee edges.
+func (w *ipWalker) call(call *ast.CallExpr) {
+	w.calleeExpr[ast.Unparen(call.Fun)] = true
+	isGo := w.goCalls[call]
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if isGo {
+			w.invoked[lit] = EdgeGo
+		} else {
+			w.invoked[lit] = EdgeCall
+		}
+		return
+	}
+
+	if isBuiltinCall(w.pkg.Info, call, "close") {
+		w.info.Facts.Lifecycle = true
+		return
+	}
+
+	fn := calleeFunc(w.pkg.Info, call)
+
+	// Direct facts on the spawner's goroutine only: for `go f(x)` the
+	// call itself runs elsewhere (its args were visited by Inspect).
+	if !isGo {
+		w.callFacts(call, fn)
+	}
+
+	// Callee edges.
+	kind := EdgeCall
+	if isGo {
+		kind = EdgeGo
+	}
+	var targets []*FuncInfo
+	iface := false
+	switch {
+	case fn == nil:
+		// Indirect call through a function variable: unresolvable.
+	case isInterfaceMethod(fn):
+		targets = w.prog.Implementations(fn)
+		iface = true
+	default:
+		if info := w.prog.byObj[fn]; info != nil {
+			targets = []*FuncInfo{info}
+		}
+	}
+	for _, t := range targets {
+		w.addEdge(t, kind, call.Pos(), iface)
+	}
+	if isGo {
+		w.info.Spawns = append(w.info.Spawns, Spawn{
+			Pos:        call.Pos(),
+			Targets:    targets,
+			Unresolved: fn == nil && len(targets) == 0,
+		})
+	}
+	if !isGo && fn != nil && fn.Name() == "InsertEdge" {
+		w.info.applySites = append(w.info.applySites, applySite{pos: call.Pos(), callees: targets})
+	}
+}
+
+// callFacts records the direct (non-edge) facts of one synchronous call.
+func (w *ipWalker) callFacts(call *ast.CallExpr, fn *types.Func) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	var recvType types.Type
+	if tv, ok := w.pkg.Info.Types[sel.X]; ok {
+		recvType = tv.Type
+	}
+
+	// Mutex acquisitions on persistent (field / package-var) mutexes.
+	if isSyncMutex(recvType) {
+		switch name {
+		case "Lock", "TryLock", "RLock", "TryRLock":
+			if obj := persistentTarget(w.pkg.Info, sel.X); obj != nil {
+				if _, seen := w.info.Facts.Acquires[obj]; !seen {
+					if w.info.Facts.Acquires == nil {
+						w.info.Facts.Acquires = make(map[types.Object]token.Pos)
+					}
+					w.info.Facts.Acquires[obj] = call.Pos()
+				}
+			}
+		}
+		return
+	}
+
+	// atomic.Pointer Load on a persistent target.
+	if fn != nil && fn.Name() == "Load" && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		if named := receiverNamed(fn); named != nil && named.Obj().Name() == "Pointer" {
+			if obj := persistentTarget(w.pkg.Info, sel.X); obj != nil {
+				if w.info.Facts.LoadsPtr == nil {
+					w.info.Facts.LoadsPtr = make(map[types.Object]token.Pos)
+				}
+				if _, seen := w.info.Facts.LoadsPtr[obj]; !seen {
+					w.info.Facts.LoadsPtr[obj] = call.Pos()
+				}
+				w.info.loads = append(w.info.loads, ptrLoad{obj: obj, pos: call.Pos()})
+			}
+		}
+		return
+	}
+
+	// Durable write barrier.
+	if fn != nil && fn.Name() == "Sync" && fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		w.info.Facts.Syncs = true
+		return
+	}
+
+	// Lifecycle primitives.
+	if isWaitGroup(recvType) {
+		w.info.Facts.Lifecycle = true
+		if name == "Wait" && w.external(sel.X) {
+			w.setBlocking(call.Pos(), "Wait call "+types.ExprString(call.Fun))
+		}
+		return
+	}
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		switch name {
+		case "Done", "Err", "Deadline":
+			w.info.Facts.Lifecycle = true
+		}
+	}
+
+	// Blocking waits and mpi traffic.
+	if name == "Wait" && !isSyncCond(recvType) {
+		if w.external(sel.X) {
+			w.setBlocking(call.Pos(), "Wait call "+types.ExprString(call.Fun))
+		}
+		return
+	}
+	if mpiBlockingCalls[name] && isMpiCarrier(w.pkg.Info, sel) {
+		w.setBlocking(call.Pos(), "mpi call "+types.ExprString(call.Fun))
+	}
+}
+
+// methodValue records an EdgeRef for a method value that is not the
+// callee of a call (s.handleQuery passed as a handler).
+func (w *ipWalker) methodValue(sel *ast.SelectorExpr) {
+	// The Sel ident is resolved here (or was the callee); keep funcValue
+	// from re-recording it when Inspect visits the child ident.
+	w.calleeExpr[sel.Sel] = true
+	if w.calleeExpr[sel] {
+		return
+	}
+	fn, ok := w.pkg.Info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return
+	}
+	if info := w.prog.byObj[fn]; info != nil {
+		w.addEdge(info, EdgeRef, sel.Pos(), false)
+	}
+}
+
+// funcValue records an EdgeRef for a plain function name used as a
+// value.
+func (w *ipWalker) funcValue(id *ast.Ident) {
+	if w.calleeExpr[id] {
+		return
+	}
+	if w.pkg.Info.Defs[id] != nil {
+		return // the declaration itself
+	}
+	fn, ok := w.pkg.Info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return // methods handled via their selector
+	}
+	if info := w.prog.byObj[fn]; info != nil {
+		w.addEdge(info, EdgeRef, id.Pos(), false)
+	}
+}
+
+func (w *ipWalker) addEdge(callee *FuncInfo, kind EdgeKind, pos token.Pos, iface bool) {
+	w.info.Edges = append(w.info.Edges, CallEdge{Callee: callee, Kind: kind, Pos: pos, Iface: iface})
+}
+
+// blocking marks an external blocking fact for a channel operand.
+func (w *ipWalker) blocking(pos token.Pos, operand ast.Expr, desc string) {
+	if w.external(operand) {
+		w.setBlocking(pos, desc)
+	}
+}
+
+func (w *ipWalker) setBlocking(pos token.Pos, desc string) {
+	if !w.info.Facts.Blocking.IsValid() {
+		w.info.Facts.Blocking = pos
+		w.info.Facts.BlockingDesc = desc
+	}
+}
+
+// external reports whether an operand couples this function to another
+// goroutine: anything but a variable declared inside this very body. A
+// scratch channel or WaitGroup the function creates and drains itself
+// is internal plumbing, not external blocking.
+func (w *ipWalker) external(e ast.Expr) bool {
+	obj := rootObject(w.pkg.Info, e)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return true // call results, fields through calls, literals
+	}
+	if v.IsField() {
+		return true
+	}
+	body := w.info.Body
+	return !(v.Pos() >= body.Pos() && v.Pos() < body.End())
+}
+
+// persistentTarget resolves the selector/ident an op acts on to a
+// struct field or package-level variable — objects with an identity
+// that outlives one function activation — or nil for locals.
+func persistentTarget(info *types.Info, e ast.Expr) types.Object {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(x.Sel)
+	case *ast.Ident:
+		obj = info.ObjectOf(x)
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// isWaitGroup reports whether t (through one pointer) is sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// resolve propagates facts bottom-up to a fixed point. Phase A handles
+// the monotone facts (blocking, acquires, syncs, loads, lifecycle);
+// phase B decides Applies, which needs the final Syncs values (a call
+// that both applies and syncs is durable, not an apply).
+func (p *Program) resolve() {
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			for _, e := range fn.Edges {
+				if e.Kind != EdgeCall {
+					continue
+				}
+				cf := &e.Callee.Facts
+				if cf.Blocking.IsValid() && !fn.Facts.Blocking.IsValid() {
+					fn.Facts.Blocking = e.Pos
+					fn.Facts.BlockingDesc = e.Callee.Name + " → " + cf.BlockingDesc
+					changed = true
+				}
+				if cf.Syncs && !fn.Facts.Syncs {
+					fn.Facts.Syncs = true
+					changed = true
+				}
+				if cf.Lifecycle && !fn.Facts.Lifecycle {
+					fn.Facts.Lifecycle = true
+					changed = true
+				}
+				for obj := range cf.Acquires {
+					if _, ok := fn.Facts.Acquires[obj]; !ok {
+						if fn.Facts.Acquires == nil {
+							fn.Facts.Acquires = make(map[types.Object]token.Pos)
+						}
+						fn.Facts.Acquires[obj] = e.Pos
+						changed = true
+					}
+				}
+				for obj := range cf.LoadsPtr {
+					if _, ok := fn.Facts.LoadsPtr[obj]; !ok {
+						if fn.Facts.LoadsPtr == nil {
+							fn.Facts.LoadsPtr = make(map[types.Object]token.Pos)
+						}
+						fn.Facts.LoadsPtr[obj] = e.Pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			if fn.Facts.Applies {
+				continue
+			}
+			apply := false
+			for _, s := range fn.applySites {
+				if !siteDurable(s) {
+					apply = true
+					break
+				}
+			}
+			if !apply {
+				for _, e := range fn.Edges {
+					if e.Kind == EdgeCall && e.Callee.Facts.Applies && !e.Callee.Facts.Syncs {
+						apply = true
+						break
+					}
+				}
+			}
+			if apply {
+				fn.Facts.Applies = true
+				changed = true
+			}
+		}
+	}
+}
+
+// siteDurable reports whether every resolved callee of an InsertEdge
+// site syncs internally (a durable apply). Unresolved sites are
+// conservatively non-durable.
+func siteDurable(s applySite) bool {
+	if len(s.callees) == 0 {
+		return false
+	}
+	for _, c := range s.callees {
+		if !c.Facts.Syncs {
+			return false
+		}
+	}
+	return true
+}
+
+// SummaryString renders one function's summary in a stable, position-
+// annotated form, used by the summary-stability golden test.
+func (f *FuncInfo) SummaryString(fset *token.FileSet) string {
+	var parts []string
+	if f.Facts.Blocking.IsValid() {
+		parts = append(parts, fmt.Sprintf("blocks[%s]", f.Facts.BlockingDesc))
+	}
+	if len(f.Facts.Acquires) > 0 {
+		var names []string
+		for obj := range f.Facts.Acquires {
+			names = append(names, obj.Name())
+		}
+		sort.Strings(names)
+		parts = append(parts, "acquires["+joinComma(names)+"]")
+	}
+	if f.Facts.Syncs {
+		parts = append(parts, "syncs")
+	}
+	if f.Facts.Applies {
+		parts = append(parts, "applies")
+	}
+	if len(f.Facts.LoadsPtr) > 0 {
+		var names []string
+		for obj := range f.Facts.LoadsPtr {
+			names = append(names, obj.Name())
+		}
+		sort.Strings(names)
+		parts = append(parts, "loads["+joinComma(names)+"]")
+	}
+	if f.Facts.Lifecycle {
+		parts = append(parts, "lifecycle")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "-")
+	}
+	return f.Name + ": " + joinComma(parts)
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}

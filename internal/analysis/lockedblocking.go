@@ -10,7 +10,9 @@ import (
 // LockedBlocking flags blocking operations performed while a sync.Mutex
 // or sync.RWMutex is held, in the packages where that combination has
 // produced (or would produce) distributed deadlocks: internal/cluster,
-// internal/mpi, internal/task and internal/trace. A rank that blocks on a channel, an
+// internal/mpi, internal/task, internal/trace, and — since the
+// living-graph pipeline — internal/compact, internal/wal and
+// internal/server. A rank that blocks on a channel, an
 // MPI collective, a point-to-point exchange or a Wait while holding a
 // lock can deadlock against a peer that needs the same lock to make the
 // matching call — and unlike a local deadlock, the runtime cannot
@@ -35,12 +37,18 @@ import (
 // callback does not inherit the creating goroutine's critical section.
 var LockedBlocking = &Analyzer{
 	Name: "lockedblocking",
-	Doc:  "no channel ops, mpi calls or Waits while holding a sync.Mutex/RWMutex in cluster/mpi/task/trace packages",
+	Doc:  "no channel ops, mpi calls or Waits while holding a sync.Mutex/RWMutex in cluster/mpi/task/trace/compact/wal/server packages",
 	Run:  runLockedBlocking,
 }
 
-// lockedBlockingPackages gates the analyzer to the deadlock-prone tree.
-var lockedBlockingPackages = []string{"internal/cluster", "internal/mpi", "internal/task", "internal/trace"}
+// lockedBlockingPackages gates the analyzer to the deadlock-prone tree:
+// the original cluster/mpi/task/trace set plus the living-graph
+// pipeline (compact/wal) and the server, whose critical sections guard
+// the serving path for every request.
+var lockedBlockingPackages = []string{
+	"internal/cluster", "internal/mpi", "internal/task", "internal/trace",
+	"internal/compact", "internal/wal", "internal/server",
+}
 
 // mpiBlockingCalls are the method names treated as synchronous MPI
 // traffic when invoked on an mpi-declared type.
@@ -132,7 +140,7 @@ func (w *lockWalker) mutexReceiver(call *ast.CallExpr) (types.Object, string, bo
 		return nil, "", false
 	}
 	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
 	default:
 		return nil, "", false
 	}
@@ -322,7 +330,11 @@ func (w *lockWalker) expr(e ast.Expr) {
 func (w *lockWalker) call(call *ast.CallExpr) {
 	if obj, name, ok := w.mutexReceiver(call); ok {
 		switch name {
-		case "Lock", "RLock":
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			// A Try* acquisition is tracked like the unconditional form:
+			// lexically the lock is held from here (the repo's Try users
+			// return early on failure, so the over-approximation is
+			// exact in practice).
 			label := obj.Name()
 			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
 				label = types.ExprString(sel.X)

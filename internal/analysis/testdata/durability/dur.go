@@ -1,0 +1,150 @@
+// Package durtest is the durability golden-test corpus, loaded under an
+// internal/wal import path so the package gate applies. logT stands in
+// for the WAL (its Append syncs, so logT is a durable source); engine
+// stands in for the in-memory index (InsertEdge is the apply).
+package durtest
+
+import "os"
+
+type update struct {
+	from, to int32
+	w        int64
+}
+
+type logT struct {
+	f *os.File
+}
+
+// Append is the durable write: the fsync return is the barrier.
+func (l *logT) Append(u, v int32, w int64) error {
+	return l.f.Sync()
+}
+
+// Updates reads back already-logged records; values derived from it are
+// replay, not new state.
+func (l *logT) Updates() []update {
+	return nil
+}
+
+type engine struct {
+	deg []int32
+}
+
+func (e *engine) InsertEdge(u, v int32, w int64) {
+	e.deg[u]++
+}
+
+// WriteAtomic mirrors fileio.WriteAtomic: a barrier whose error callers
+// must handle.
+func WriteAtomic(path string, write func(*os.File) error) error {
+	f, err := os.CreateTemp("", path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- rule 1: barrier errors are handled ---
+
+func syncBad(f *os.File) {
+	f.Sync() // want `Sync error discarded`
+}
+
+func syncDeferredBad(f *os.File) {
+	defer f.Sync() // want `Sync deferred`
+}
+
+func syncBlankedBad(f *os.File) {
+	_ = f.Sync() // want `Sync error blanked`
+}
+
+func truncateBad(f *os.File) {
+	f.Truncate(0) // want `Truncate error discarded`
+}
+
+func writeAtomicBad(path string) {
+	WriteAtomic(path, func(f *os.File) error { return nil }) // want `WriteAtomic error discarded`
+}
+
+func closeBad(f *os.File) {
+	f.Close() // want `Close error discarded`
+}
+
+func closeAcknowledgedGood(f *os.File) {
+	_ = f.Close()
+}
+
+func closeDeferredGood(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+func syncCheckedGood(f *os.File) error {
+	return f.Sync()
+}
+
+// --- rule 2: fsync before apply ---
+
+func insertThenLogBad(l *logT, e *engine) error {
+	e.InsertEdge(1, 2, 3) // want `in-memory apply \(InsertEdge\) precedes the durable write`
+	return l.Append(1, 2, 3)
+}
+
+func logThenApplyGood(l *logT, e *engine) error {
+	if err := l.Append(1, 2, 3); err != nil {
+		return err
+	}
+	e.InsertEdge(1, 2, 3)
+	return nil
+}
+
+// applyPair applies without syncing: callers inherit the obligation.
+func applyPair(e *engine, u, v int32, w int64) {
+	e.InsertEdge(u, v, w)
+	e.InsertEdge(v, u, w)
+}
+
+func applyHelperThenLogBad(l *logT, e *engine) error {
+	applyPair(e, 1, 2, 3) // want `in-memory apply \(applyPair\) precedes the durable write`
+	return l.Append(1, 2, 3)
+}
+
+// replayGood re-applies records read back from the log: the arguments
+// derive from a durable source, so applying them before the next
+// durable write is the sanctioned recovery shape.
+func replayGood(l *logT, e *engine) error {
+	for _, u := range l.Updates() {
+		e.InsertEdge(u.from, u.to, u.w)
+	}
+	return l.Append(7, 8, 9)
+}
+
+// insertDurable both logs and applies: at its call sites it counts as a
+// durable write, and the internal order is checked here, where it is
+// defined.
+func insertDurable(l *logT, e *engine, u, v int32, w int64) error {
+	if err := l.Append(u, v, w); err != nil {
+		return err
+	}
+	e.InsertEdge(u, v, w)
+	return nil
+}
+
+func callerGood(l *logT, e *engine) error {
+	if err := insertDurable(l, e, 1, 2, 3); err != nil {
+		return err
+	}
+	return l.Append(4, 5, 6)
+}

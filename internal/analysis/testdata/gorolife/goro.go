@@ -1,0 +1,92 @@
+// Package gorotest is the gorolife golden-test corpus, loaded under an
+// internal/compact import path so the package gate applies. Positive
+// cases spawn goroutines no shutdown primitive can reach; negative
+// cases tie each spawn to a stop channel, a WaitGroup or a close.
+package gorotest
+
+import "sync"
+
+type pipeline struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func work() {}
+
+// spin never consults any lifecycle primitive: once spawned, nothing
+// can stop or await it.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+func fireAndForgetBad(n *int) {
+	go spin(n) // want `fire-and-forget`
+}
+
+func bareLitBad(n *int) {
+	go func() { // want `fire-and-forget`
+		for {
+			*n++
+		}
+	}()
+}
+
+// launchBad spawns through a plain function value: the entry cannot be
+// resolved statically, so the analyzer demands an explicit vet-ignore.
+func launchBad(f func()) {
+	go f() // want `cannot be resolved statically`
+}
+
+// loopGood polls the stop channel: the select is the shutdown path.
+func (p *pipeline) loopGood() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// notifyGood signals completion by closing a done channel: observable
+// from outside, so the spawn is accounted for.
+func notifyGood(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+// startGood reaches the stop channel transitively, through run's call
+// to waitStop: the lifecycle fact propagates up the summary chain.
+func (p *pipeline) startGood() {
+	go p.run()
+}
+
+func (p *pipeline) run() {
+	for {
+		if p.waitStop() {
+			return
+		}
+	}
+}
+
+func (p *pipeline) waitStop() bool {
+	<-p.stop
+	return true
+}
+
+// workerGood registers with the pipeline's WaitGroup: Close can await
+// it.
+func (p *pipeline) workerGood() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		work()
+	}()
+}

@@ -1,0 +1,84 @@
+// Package iptest is the call-graph layer's unit-test corpus: mutual
+// recursion, interface dispatch, method values, local-WaitGroup fan-out
+// and transitive fsync — each shape one test in interproc_test.go pins.
+package iptest
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// even/odd are mutually recursive: the fixed point must terminate and
+// carry odd's blocking fact around the cycle into both summaries.
+func even(b *box, n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(b, n-1)
+}
+
+func odd(b *box, n int) bool {
+	if n == 0 {
+		<-b.ch
+		return false
+	}
+	return even(b, n-1)
+}
+
+// Engine mirrors the core.Engine seam: calls through it must resolve to
+// every implementation.
+type Engine interface {
+	Run(n int)
+}
+
+type fast struct{}
+
+func (fast) Run(n int) {}
+
+type slow struct {
+	mu sync.Mutex
+}
+
+func (s *slow) Run(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// drive dispatches through the interface: its summary must include
+// slow's acquisition even though no concrete type appears here.
+func drive(e Engine) {
+	e.Run(1)
+}
+
+// pick returns a method value without invoking it: an EdgeRef, whose
+// facts must NOT leak into pick's own summary.
+func pick(s *slow) func(int) {
+	return s.Run
+}
+
+// fanOut drains a function-local WaitGroup: lifecycle yes, external
+// blocking no.
+func fanOut() {
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// barrier syncs directly; save only through barrier.
+func barrier(f *os.File) error {
+	return f.Sync()
+}
+
+func save(f *os.File) error {
+	return barrier(f)
+}

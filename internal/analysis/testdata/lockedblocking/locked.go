@@ -71,6 +71,14 @@ func selectBad(n *node) {
 	}
 }
 
+func tryLockBad(n *node) {
+	if !n.mu.TryLock() {
+		return
+	}
+	defer n.mu.Unlock()
+	n.ch <- 1 // want `channel send while holding n.mu`
+}
+
 func unlockFirstOK(n *node) {
 	n.mu.Lock()
 	n.vals = append(n.vals, 1)

@@ -1,0 +1,104 @@
+// Package lockordertest is the lockorder golden-test corpus. Its test
+// loads it under an internal/compact import path so the package gate
+// applies. The mutexes are struct fields (persistent identity); the
+// helper functions exercise the interprocedural summaries: acquisitions
+// and blocking operations reached through calls, not just lexically.
+package lockordertest
+
+import "sync"
+
+type state struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	c  sync.Mutex
+	mu sync.RWMutex
+	ch chan int
+}
+
+// ab nests b inside a: the first half of the cycle. The cycle is
+// reported here, at the edge recorded first.
+func ab(s *state) {
+	s.a.Lock()
+	s.b.Lock() // want `lock-order cycle`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// ba nests a inside b through a helper: the opposite order, completing
+// the cycle even though no function acquires both directly in this
+// order... except via lockA's summary.
+func ba(s *state) {
+	s.b.Lock()
+	lockA(s)
+	s.b.Unlock()
+}
+
+func lockA(s *state) {
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// relock re-acquires a held mutex through a callee: a self-deadlock
+// (sync mutexes are not reentrant).
+func relock(s *state) {
+	s.c.Lock()
+	lockC(s) // want `recursive acquisition`
+	s.c.Unlock()
+}
+
+func lockC(s *state) {
+	s.c.Lock()
+	s.c.Unlock()
+}
+
+// blockingHelper blocks on a field channel: external blocking, visible
+// in its summary.
+func blockingHelper(s *state) int {
+	return <-s.ch
+}
+
+// holdAndCall invokes a (transitively) blocking function while holding
+// a write lock.
+func holdAndCall(s *state) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return blockingHelper(s) // want `can block .* while s\.mu is write-locked`
+}
+
+// holdReadAndCall does the same under a read lock: readers don't starve
+// each other, so only write-held is flagged.
+func holdReadAndCall(s *state) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return blockingHelper(s)
+}
+
+// fanOut blocks only on a function-local WaitGroup — internal fan-in,
+// exempt from the blocking summary.
+func fanOut() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// holdAndFanOut may therefore run the fan-out under a write lock: the
+// engines-under-compactMu pattern.
+func holdAndFanOut(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fanOut()
+}
+
+// nested is the consistent-order negative: mu then c, in the same order
+// everywhere, is not a cycle.
+func nested(s *state) {
+	s.mu.Lock()
+	s.c.Lock()
+	s.c.Unlock()
+	s.mu.Unlock()
+}

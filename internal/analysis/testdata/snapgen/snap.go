@@ -1,0 +1,106 @@
+// Package snaptest is the snapgen golden-test corpus, loaded under an
+// internal/server import path so the package gate applies. It mirrors
+// the server's publish/serve shape: an atomic.Pointer snapshot, a
+// monotonic generation, and a cache keyed by (gen, s, t).
+package snaptest
+
+import "sync/atomic"
+
+type snapshot struct {
+	gen uint64
+	val int64
+}
+
+type cache struct{}
+
+func (c *cache) Get(gen uint64, s, t int32) (int64, bool) { return 0, false }
+func (c *cache) Put(gen uint64, s, t int32, d int64)      {}
+
+type server struct {
+	snap atomic.Pointer[snapshot]
+	gen  atomic.Uint64
+	c    *cache
+}
+
+// doubleLoadBad loads the snapshot twice in one scope: a publish
+// between the loads splits the scope across generations.
+func (s *server) doubleLoadBad() uint64 {
+	a := s.snap.Load()
+	b := s.snap.Load() // want `loaded again after the load`
+	if a == nil || b == nil {
+		return 0
+	}
+	return a.gen + b.gen
+}
+
+// snapGen is the helper hiding a load.
+func (s *server) snapGen() uint64 {
+	if sn := s.snap.Load(); sn != nil {
+		return sn.gen
+	}
+	return 0
+}
+
+// doubleLoadViaHelperBad loads directly and again through the helper:
+// the summary layer sees through the call.
+func (s *server) doubleLoadViaHelperBad() int64 {
+	sn := s.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return sn.val + int64(s.snapGen()) // want `loaded again via .*snapGen`
+}
+
+// singleLoadGood is the sanctioned shape: load once, pass it down.
+func (s *server) singleLoadGood() int64 {
+	sn := s.snap.Load()
+	if sn == nil {
+		return 0
+	}
+	return useSnapshot(sn)
+}
+
+func useSnapshot(sn *snapshot) int64 { return sn.val }
+
+// goroutineScopeGood: a spawned goroutine is its own request scope; its
+// load does not combine with the spawner's.
+func (s *server) goroutineScopeGood(done chan struct{}) int64 {
+	sn := s.snap.Load()
+	go func() {
+		defer close(done)
+		_ = s.snap.Load()
+	}()
+	if sn == nil {
+		return 0
+	}
+	return sn.val
+}
+
+// constGenBad keys a cache entry with a constant generation: a publish
+// would invalidate nothing.
+func (s *server) constGenBad(d int64) {
+	s.c.Put(0, 1, 2, d) // want `constant 0`
+}
+
+// staleGenBad publishes a snapshot with one generation but keys the
+// cache with another value in the same scope.
+func (s *server) staleGenBad(d int64) {
+	gen := s.gen.Add(1)
+	stale := gen - 1
+	s.c.Put(stale, 1, 2, d) // want `not the generation stored`
+	s.snap.Store(&snapshot{gen: gen})
+}
+
+// publishGood threads the one generation through both the cache and the
+// published snapshot.
+func (s *server) publishGood(d int64) {
+	gen := s.gen.Add(1)
+	s.c.Put(gen, 1, 2, d)
+	s.snap.Store(&snapshot{gen: gen})
+}
+
+// liveGenGood reads the generation from a field elsewhere: not a
+// constant, no same-scope publish — nothing to flag.
+func (s *server) liveGenGood(gen uint64, d int64) {
+	s.c.Put(gen, 1, 2, d)
+}

@@ -30,3 +30,27 @@ func TestVetCleanOnRepo(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+// TestVetIgnoresFresh asserts every vet-ignore directive in the module
+// still suppresses at least one finding under the full suite. A stale
+// directive means either dead paperwork to delete or — worse — an
+// analyzer that silently stopped seeing the code it was excused from.
+func TestVetIgnoresFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis skipped in -short")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	_, uses, err := analysis.RunAnalyzersVerbose(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(uses) == 0 {
+		t.Fatal("no vet-ignore directives found anywhere: the inventory wiring is broken (the module has known directives)")
+	}
+	for _, u := range analysis.StaleIgnores(uses, analysis.All()) {
+		t.Errorf("stale vet-ignore at %s: %s (%s) suppresses nothing — delete the directive, or an analyzer regressed", u.Pos, u.Analyzer, u.Reason)
+	}
+}

@@ -33,11 +33,11 @@ func WriteAtomic(path string, write func(*os.File) error) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := write(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error wins; the temp file is discarded
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the sync error wins; the temp file is discarded
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -61,7 +61,7 @@ func syncDir(dir string) error {
 		return err
 	}
 	if err := d.Sync(); err != nil {
-		d.Close()
+		_ = d.Close() // the sync error wins; the handle is read-only
 		return fmt.Errorf("fileio: fsync %s: %w", dir, err)
 	}
 	return d.Close()

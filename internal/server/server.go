@@ -362,6 +362,14 @@ func (s *Server) SetLoader(l Loader) { s.loader.Store(&l) }
 // new requests see the new one. Safe to call concurrently with
 // traffic.
 func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) uint64 {
+	return s.publish(idx, pidx, source).gen
+}
+
+// publish is Publish returning the stored snapshot itself, so callers
+// that need the published state (handleReload's response) read the
+// snapshot they created instead of re-loading the pointer — a second
+// load could observe a different, concurrent publish.
+func (s *Server) publish(idx *label.Index, pidx *pathidx.Index, source string) *snapshot {
 	gen := s.gen.Add(1)
 	ora := oracle.Oracle(idx)
 	if up := s.Updater(); up != nil {
@@ -379,16 +387,17 @@ func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) u
 			Tracer:    s.tracer.Load,
 		})
 	}
-	s.snap.Store(&snapshot{
+	sn := &snapshot{
 		idx:    idx,
 		ora:    ora,
 		pidx:   pidx,
 		gen:    gen,
 		source: source,
 		loaded: time.Now(),
-	})
+	}
+	s.snap.Store(sn)
 	s.generation.Set(int64(gen))
-	return gen
+	return sn
 }
 
 // Reload loads an index file and publishes it. An empty path reloads
@@ -401,33 +410,45 @@ func (s *Server) Publish(idx *label.Index, pidx *pathidx.Index, source string) u
 // panic or answer paths from the wrong graph. Otherwise the new
 // snapshot has no path index and /path answers 404.
 func (s *Server) Reload(path string) (uint64, error) {
+	sn, err := s.reload(path)
+	if err != nil {
+		return 0, err
+	}
+	return sn.gen, nil
+}
+
+// reload implements Reload and returns the snapshot it published. The
+// current snapshot is loaded exactly once, up front: both the empty-path
+// resolution and the pidx carry-over decision read that one value, so a
+// concurrent publish mid-reload cannot split the decisions across
+// generations (the original form of PR 3's stale-pidx bug).
+func (s *Server) reload(path string) (*snapshot, error) {
 	lp := s.loader.Load()
 	if lp == nil || *lp == nil {
-		return 0, ErrNoLoader
+		return nil, ErrNoLoader
 	}
 	if !s.reloadMu.TryLock() {
-		return 0, ErrReloadBusy
+		return nil, ErrReloadBusy
 	}
 	defer s.reloadMu.Unlock()
-	if path == "" {
-		if sn := s.snap.Load(); sn != nil {
-			path = sn.source
-		}
+	cur := s.snap.Load()
+	if path == "" && cur != nil {
+		path = cur.source
 	}
 	if path == "" {
-		return 0, fmt.Errorf("server: no index path to reload (served index was built in memory)")
+		return nil, fmt.Errorf("server: no index path to reload (served index was built in memory)")
 	}
 	idx, pidx, err := (*lp)(path)
 	if err != nil {
-		return 0, fmt.Errorf("server: reloading %s: %w", path, err)
+		return nil, fmt.Errorf("server: reloading %s: %w", path, err)
 	}
 	if pidx == nil {
-		if sn := s.snap.Load(); sn != nil && sn.pidx != nil &&
-			path == sn.source && sn.pidx.NumVertices() == idx.NumVertices() {
-			pidx = sn.pidx
+		if cur != nil && cur.pidx != nil &&
+			path == cur.source && cur.pidx.NumVertices() == idx.NumVertices() {
+			pidx = cur.pidx
 		}
 	}
-	return s.Publish(idx, pidx, path), nil
+	return s.publish(idx, pidx, path), nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -811,7 +832,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %v", err))
 		return
 	}
-	if _, err := s.Reload(req.Path); err != nil {
+	// The response describes the snapshot this reload published, not
+	// whatever s.snap holds by response time — a concurrent publish
+	// between reload and a re-load of the pointer could attribute a
+	// different generation to this request.
+	sn, err := s.reload(req.Path)
+	if err != nil {
 		switch {
 		case errors.Is(err, ErrReloadBusy):
 			writeErr(w, http.StatusConflict, err)
@@ -822,7 +848,6 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	sn := s.snap.Load()
 	writeJSON(w, http.StatusOK, reloadResponse{
 		Status:     "ok",
 		Generation: sn.gen,

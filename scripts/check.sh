@@ -21,7 +21,23 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== parapll-vet ./... (custom analyzers)"
-go run ./cmd/parapll-vet ./...
+if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    # On CI, emit findings both as plain log lines and as GitHub
+    # annotations (::error), so they surface inline on the PR diff. The
+    # NDJSON field order is fixed by cmd/parapll-vet, which lets sed do
+    # the rewrite without a JSON parser on the runner.
+    vet_status=0
+    vet_out=$(go run ./cmd/parapll-vet -json ./...) || vet_status=$?
+    if [ -n "$vet_out" ]; then
+        printf '%s\n' "$vet_out"
+        printf '%s\n' "$vet_out" | sed -E \
+            -e "s|\"file\":\"$(pwd)/|\"file\":\"|" \
+            -e 's/^\{"file":"([^"]*)","line":([0-9]+),"col":([0-9]+),"analyzer":"([^"]*)","message":"(.*)"\}$/::error file=\1,line=\2::[\4] \5/'
+    fi
+    [ "$vet_status" -eq 0 ]
+else
+    go run ./cmd/parapll-vet ./...
+fi
 
 echo "== go test -race -short ./..."
 go test -race -short ./...
