@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"parapll/internal/analysis"
+)
+
+func TestProbeSelectDefaultNonBlocking(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/probe", "test/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.BuildProgram([]*analysis.Package{pkg})
+	for _, f := range prog.Funcs {
+		if f.Name == "(*pipe).poll" {
+			if f.Facts.Blocking.IsValid() {
+				t.Errorf("poll marked blocking (%s) despite default clause", f.Facts.BlockingDesc)
+			}
+			return
+		}
+	}
+	t.Fatal("poll not found")
+}

@@ -1,0 +1,16 @@
+package probe
+
+type pipe struct {
+	stop chan struct{}
+}
+
+// poll only touches the channel inside a select with a default clause:
+// it can never block.
+func (p *pipe) poll() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
