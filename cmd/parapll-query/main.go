@@ -5,11 +5,20 @@
 // Usage:
 //
 //	parapll-query -index g.idx -pair 17,2042 -pair 5,9
+//	parapll-query -index g.idx -pair 17,2042 -explain
 //	parapll-query -index g.idx -random 10000
 //	parapll-query -index g.idx -graph g.bin -verify 100
+//
+// -explain answers each -pair through the instrumented cold-path
+// sibling of the merge kernel and prints a JSON cost breakdown per
+// pair: label lengths, the strategy the dispatch chose (linear vs.
+// gallop), hubs probed, pointer/probe step counts, the meeting hub, and
+// the merge's nanosecond cost — the offline twin of the server's
+// GET /debug/explain.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -40,6 +49,7 @@ func main() {
 		random    = flag.Int("random", 0, "time N random queries and print latency stats")
 		verify    = flag.Int("verify", 0, "cross-check N random sources against Dijkstra")
 		seed      = flag.Int64("seed", 1, "seed for -random/-verify")
+		explain   = flag.Bool("explain", false, "answer each -pair through the instrumented kernel and print a JSON cost breakdown")
 	)
 	flag.Var(&pairs, "pair", "query pair S,T (repeatable)")
 	flag.Parse()
@@ -70,12 +80,34 @@ func main() {
 		fatalf("index has no vertices; nothing to sample for -random/-verify")
 	}
 
-	for _, p := range pairs {
-		d := idx.Query(p[0], p[1])
-		if d == parapll.Inf {
-			fmt.Printf("d(%d,%d) = unreachable\n", p[0], p[1])
-		} else {
-			fmt.Printf("d(%d,%d) = %d\n", p[0], p[1], d)
+	if *explain && len(pairs) == 0 {
+		fatalf("-explain needs at least one -pair")
+	}
+	if *explain {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, p := range pairs {
+			ex := loaded.QueryExplain(p[0], p[1])
+			// Same wire encoding as the server: -1 = unreachable.
+			wire := struct {
+				parapll.Explain
+				Dist int64 `json:"dist"`
+			}{Explain: ex, Dist: -1}
+			if ex.Reachable {
+				wire.Dist = int64(ex.Dist)
+			}
+			if err := enc.Encode(wire); err != nil {
+				fatalf("encoding explain: %v", err)
+			}
+		}
+	} else {
+		for _, p := range pairs {
+			d := idx.Query(p[0], p[1])
+			if d == parapll.Inf {
+				fmt.Printf("d(%d,%d) = unreachable\n", p[0], p[1])
+			} else {
+				fmt.Printf("d(%d,%d) = %d\n", p[0], p[1], d)
+			}
 		}
 	}
 

@@ -21,6 +21,7 @@
 // GET /knn?s=&k=   GET /stats   POST /update   POST /reload   GET /readyz
 // GET /metrics (JSON, or Prometheus text under Accept: text/plain)
 // GET /healthz   GET /debug/slow   GET /debug/trace?sec=N
+// GET /debug/explain?s=&t=   GET /debug/health   GET /debug/bundle
 // and, with -pprof, the standard net/http/pprof handlers under
 // /debug/pprof/ (opt-in: profiling endpoints leak internals and cost
 // CPU, so they stay off unless asked for).
@@ -45,6 +46,18 @@
 // -trace-sample N records a span for 1 in N requests; -trace FILE
 // writes the recorded timeline as Chrome trace-event JSON on
 // SIGINT/SIGTERM (and arms /debug/trace even with sampling off).
+//
+// Diagnostics flags: -flight DIR arms the always-on flight recorder —
+// a bounded spool of self-contained incident bundles (recent trace,
+// metrics, goroutine/heap profiles, /stats, WAL state) written on
+// GET /debug/bundle, on any handler panic, on SIGQUIT, and on every SLO
+// breach; -flight-keep / -flight-gap-ms / -flight-trace-sec bound the
+// spool, the auto-capture rate, and the trace window. -slo-window-ms
+// arms the anomaly watchdog (GET /debug/health, slo.* gauges on
+// /metrics): -slo-query-p99-us watches the windowed /query+/batch p99,
+// -slo-fsync-p99-us the WAL fsync p99 (living-graph mode),
+// -slo-compact-ms flags a compaction running past its deadline, and a
+// reload-failure rule is always on.
 package main
 
 import (
@@ -54,6 +67,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +75,7 @@ import (
 	"parapll/internal/compact"
 	"parapll/internal/core"
 	"parapll/internal/fileio"
+	"parapll/internal/flight"
 	"parapll/internal/label"
 	"parapll/internal/metrics"
 	"parapll/internal/pathidx"
@@ -83,6 +98,16 @@ func main() {
 		walDir     = flag.String("wal", "", "living-graph mode: directory for the edge-update WAL and compaction checkpoints (needs -graph; enables POST /update)")
 		compactN   = flag.Int("compact-every", 0, "living-graph mode: background-compact once the WAL holds this many records (0 = only on restart)")
 		compactThr = flag.Int("compact-threads", 0, "living-graph mode: threads for compaction rebuilds (0 = all cores)")
+
+		flightDir      = flag.String("flight", "", "arm the flight recorder: spool incident bundles into this directory (enables GET /debug/bundle, panic/SIGQUIT dumps)")
+		flightKeep     = flag.Int("flight-keep", 8, "flight recorder: keep at most this many bundles on disk")
+		flightGapMS    = flag.Int64("flight-gap-ms", 30000, "flight recorder: minimum gap between automatic (breach-triggered) captures")
+		flightTraceSec = flag.Int64("flight-trace-sec", 30, "flight recorder: seconds of recent trace history embedded in each bundle")
+
+		sloWindowMS   = flag.Int64("slo-window-ms", 0, "arm the anomaly watchdog with this evaluation window (0 = off; enables GET /debug/health)")
+		sloQueryP99US = flag.Int64("slo-query-p99-us", 0, "SLO: breach when the windowed /query+/batch p99 exceeds this many microseconds (0 = rule off)")
+		sloFsyncP99US = flag.Int64("slo-fsync-p99-us", 0, "SLO: breach when the windowed WAL fsync p99 exceeds this many microseconds (living-graph mode; 0 = rule off)")
+		sloCompactMS  = flag.Int64("slo-compact-ms", 0, "SLO: breach when a compaction has been running longer than this many milliseconds (0 = rule off)")
 	)
 	flag.Parse()
 	if *indexPath == "" && *graphPath == "" {
@@ -141,11 +166,123 @@ func main() {
 		}()
 	}
 
+	// Flight recorder: bundles are only as good as the trace they embed,
+	// so -flight with no tracer arms one recording every request.
+	var rec *flight.Recorder
+	if *flightDir != "" {
+		if tr == nil {
+			tr = parapll.NewTracer(0, 0)
+			tr.SetSample(1)
+			tr.Enable()
+			srv.SetTracer(tr)
+		}
+		var err error
+		rec, err = flight.New(flight.Options{
+			Dir:         *flightDir,
+			MaxBundles:  *flightKeep,
+			MinGap:      time.Duration(*flightGapMS) * time.Millisecond,
+			TraceWindow: time.Duration(*flightTraceSec) * time.Second,
+		}, flight.Sources{
+			Tracer:   srv.Tracer,
+			Registry: srv.Registry(),
+			Stats:    srv.StatsPayload,
+			WAL: func() any {
+				up := srv.Updater()
+				if up == nil {
+					return nil
+				}
+				st := up.Stats()
+				return &st
+			},
+			Health: func() any {
+				wd := srv.Watchdog()
+				if wd == nil {
+					return nil
+				}
+				return wd.Health()
+			},
+		})
+		if err != nil {
+			fatalf("arming flight recorder: %v", err)
+		}
+		srv.SetFlight(rec)
+		// SIGQUIT = "dump evidence and die": the bundle carries the same
+		// goroutine stacks the default handler would print, plus the
+		// trace/metrics context the stacks alone lack.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			path, err := rec.Trigger("sigquit")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parapll-server: SIGQUIT flight capture: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "parapll-server: SIGQUIT: flight bundle -> %s\n", path)
+			os.Exit(2)
+		}()
+		fmt.Printf("flight recorder armed: spool %s (keep %d)\n", *flightDir, *flightKeep)
+	}
+
+	// Anomaly watchdog: windowed SLO verdicts at /debug/health, slo.*
+	// gauges on /metrics, and (with -flight) a rate-limited capture on
+	// every breach.
+	var fsyncWin *metrics.WindowedHistogram
+	if *sloWindowMS > 0 {
+		var rules []string
+		wd := flight.NewWatchdog(flight.WatchdogOptions{
+			Window:   time.Duration(*sloWindowMS) * time.Millisecond,
+			Registry: srv.Registry(),
+			Recorder: rec,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "parapll-server: "+format+"\n", args...)
+			},
+		})
+		if *sloQueryP99US > 0 {
+			qwin := metrics.NewWindowed(metrics.DefaultLatencyBuckets, 6)
+			srv.SetQueryLatencyWindow(qwin)
+			wd.AddLatencyRule("query_p99", "us", qwin, 0.99, *sloQueryP99US, 1)
+			rules = append(rules, fmt.Sprintf("query p99 > %dus", *sloQueryP99US))
+		}
+		if *sloFsyncP99US > 0 && *walDir != "" {
+			fsyncWin = metrics.NewWindowed(metrics.DefaultLatencyBuckets, 6)
+			wd.AddLatencyRule("wal_fsync_p99", "us", fsyncWin, 0.99, *sloFsyncP99US, 1)
+			rules = append(rules, fmt.Sprintf("wal fsync p99 > %dus", *sloFsyncP99US))
+		}
+		if *sloCompactMS > 0 && *walDir != "" {
+			deadline := *sloCompactMS
+			wd.AddProbeRule("compact_deadline", "ms", deadline, func() (int64, bool) {
+				up := srv.Updater()
+				if up == nil {
+					return 0, false
+				}
+				since := up.Stats().CompactingSinceUnixNano
+				if since == 0 {
+					return 0, false
+				}
+				ms := (time.Now().UnixNano() - since) / int64(time.Millisecond)
+				return ms, ms > deadline
+			})
+			rules = append(rules, fmt.Sprintf("compact > %dms", deadline))
+		}
+		wd.AddCounterRule("reload_failures", srv.ReloadFailures(), 0)
+		rules = append(rules, "any reload failure")
+		srv.SetWatchdog(wd)
+		wd.Start()
+		fmt.Printf("watchdog armed: window %dms (%s)\n",
+			*sloWindowMS, strings.Join(rules, ", "))
+	}
+
 	// Load or build off-thread so the listener (and /readyz, /healthz,
 	// /metrics) is up from the first moment.
 	go func() {
 		if *walDir != "" {
-			prepareLive(srv, *walDir, *indexPath, *graphPath, *compactN, *compactThr)
+			var onFsync func(time.Duration)
+			if fsyncWin != nil {
+				win := fsyncWin
+				onFsync = func(d time.Duration) { win.Observe(d.Microseconds()) }
+			}
+			prepareLive(srv, *walDir, *indexPath, *graphPath, *compactN, *compactThr, onFsync)
 			return
 		}
 		idx, pidx, source := prepare(*indexPath, *graphPath, *paths, *threads)
@@ -195,7 +332,7 @@ func main() {
 // as the first snapshot. Compactions publish their fresh artifact back
 // through the server's /reload machinery, so the generation counter
 // advances exactly once per checkpoint roll.
-func prepareLive(srv *server.Server, walDir, indexPath, graphPath string, compactEvery, compactThreads int) {
+func prepareLive(srv *server.Server, walDir, indexPath, graphPath string, compactEvery, compactThreads int, onFsync func(time.Duration)) {
 	g, err := parapll.LoadGraph(graphPath)
 	if err != nil {
 		fatalf("loading graph: %v", err)
@@ -215,6 +352,7 @@ func prepareLive(srv *server.Server, walDir, indexPath, graphPath string, compac
 		CompactEvery: compactEvery,
 		Threads:      compactThreads,
 		Tracer:       srv.Tracer,
+		OnFsync:      onFsync, // feeds the watchdog's wal_fsync_p99 window
 		OnPublish: func(rep compact.Report) {
 			gen, err := srv.Reload(pipe.IndexPath())
 			if err != nil {

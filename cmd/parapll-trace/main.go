@@ -13,7 +13,9 @@
 //
 // check validates a capture without opening a browser: well-formed
 // traceEvents, known phases, per-lane monotonic timestamps — and prints
-// a one-line summary.
+// a one-line summary. check also accepts a flight-recorder bundle (from
+// GET /debug/bundle or the -flight spool): it detects the bundle shape
+// and validates the trace embedded inside it.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"parapll/internal/flight"
 	"parapll/internal/trace"
 )
 
@@ -69,6 +72,20 @@ func runCheck(args []string) {
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// Sniff the shape first: a flight bundle wraps its trace, so the
+	// bare validator would reject it for the wrong reason.
+	if b, berr := flight.ParseBundle(data); berr == nil {
+		if len(b.Trace) == 0 {
+			fatalf("%s: flight bundle has no embedded trace (trace_error=%q)", fs.Arg(0), b.TraceError)
+		}
+		st, err := trace.CheckCapture(b.Trace)
+		if err != nil {
+			fatalf("%s: embedded trace: %v", fs.Arg(0), err)
+		}
+		fmt.Printf("%s: flight bundle ok (reason %q, %d recent errors, %d metric samples; trace: %d events, %d spans, %d dropped)\n",
+			fs.Arg(0), b.Meta.Reason, len(b.Errors), len(b.MetricRing), st.Events, st.Spans, st.Drops)
+		return
 	}
 	st, err := trace.CheckCapture(data)
 	if err != nil {

@@ -353,3 +353,191 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	}
 	verify("post-checkpoint restart")
 }
+
+// TestFlightBreachE2E exercises the diagnostics loop through the real
+// binaries: start a server with the flight recorder and an absurdly
+// tight query-p99 SLO, drive traffic until the watchdog declares a
+// breach, and confirm the breach auto-captured a flight bundle that
+// `parapll-trace check` accepts. Also spot-checks /debug/explain
+// against /query and the slo.* gauges on the Prometheus scrape.
+//
+// When PARAPLL_E2E_ARTIFACTS is set (CI does this), the flight spool
+// lives under it so a failed run's bundles survive as CI artifacts.
+func TestFlightBreachE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "parapll-server")
+	traceBin := filepath.Join(dir, "parapll-trace")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/parapll-server", traceBin: "./cmd/parapll-trace"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	base := gen.ChungLu(120, 320, 2.2, 77)
+	graphPath := filepath.Join(dir, "graph.bin")
+	if err := fileio.SaveGraph(graphPath, base); err != nil {
+		t.Fatal(err)
+	}
+
+	spool := filepath.Join(dir, "flight")
+	if art := os.Getenv("PARAPLL_E2E_ARTIFACTS"); art != "" {
+		spool = filepath.Join(art, "flight")
+	}
+
+	const addr = "127.0.0.1:18963"
+	url := func(path string) string { return "http://" + addr + path }
+	// -slo-query-p99-us 1: every real request breaches, so two 100ms
+	// windows of traffic trip the default hysteresis.
+	srv := exec.Command(serverBin,
+		"-graph", graphPath, "-addr", addr,
+		"-flight", spool, "-flight-keep", "4", "-flight-gap-ms", "100", "-flight-trace-sec", "10",
+		"-slo-window-ms", "100", "-slo-query-p99-us", "1")
+	srv.Stdout = os.Stderr
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url("/readyz"))
+		if err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ready {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Drive traffic until the watchdog flips to breach.
+	breachDeadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := http.Get(url("/query?s=0&t=5"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+
+		resp, err = http.Get(url("/debug/health"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep struct {
+			Status   string `json:"status"`
+			Verdicts []struct {
+				Name     string `json:"name"`
+				Breached bool   `json:"breached"`
+			} `json:"verdicts"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status == "breach" {
+			var hit bool
+			for _, v := range rep.Verdicts {
+				hit = hit || (v.Name == "query_p99" && v.Breached)
+			}
+			if !hit {
+				t.Fatalf("breach without the query_p99 verdict: %+v", rep)
+			}
+			break
+		}
+		if time.Now().After(breachDeadline) {
+			t.Fatalf("watchdog never breached under forced traffic: %+v", rep)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The breach must have auto-spooled a bundle parapll-trace accepts.
+	var bundle string
+	bundleDeadline := time.Now().Add(10 * time.Second)
+	for {
+		names, err := filepath.Glob(filepath.Join(spool, "bundle-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) > 0 {
+			bundle = names[len(names)-1]
+			break
+		}
+		if time.Now().After(bundleDeadline) {
+			t.Fatal("breach produced no flight bundle in the spool")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	out, err := exec.Command(traceBin, "check", bundle).CombinedOutput()
+	if err != nil {
+		t.Fatalf("parapll-trace check %s: %v\n%s", bundle, err, out)
+	}
+	if !strings.Contains(string(out), "flight bundle ok") {
+		t.Fatalf("check output unexpected: %s", out)
+	}
+
+	// /debug/explain answers exactly like /query.
+	for _, pair := range [][2]int{{0, 5}, {3, 3}, {7, 100}} {
+		q := fmt.Sprintf("?s=%d&t=%d", pair[0], pair[1])
+		var qr struct {
+			Dist int64 `json:"dist"`
+		}
+		var ex struct {
+			Dist int64  `json:"dist"`
+			Algo string `json:"algo"`
+		}
+		for path, into := range map[string]interface{}{"/query": &qr, "/debug/explain": &ex} {
+			resp, err := http.Get(url(path + q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(resp.Body).Decode(into)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s%s: status %d err %v", path, q, resp.StatusCode, err)
+			}
+		}
+		if qr.Dist != ex.Dist || ex.Algo == "" {
+			t.Fatalf("explain%s dist %d (algo %q), query says %d", q, ex.Dist, ex.Algo, qr.Dist)
+		}
+	}
+
+	// The verdict gauge (with its HELP metadata) is on the scrape.
+	req, _ := http.NewRequest(http.MethodGet, url("/metrics"), nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// No value assertion on the breach gauge: once the forced traffic
+	// stops, ClearAfter idle windows stand the alarm down within ~300ms.
+	for _, want := range []string{"# HELP slo_breach_query_p99 ", "slo_value_query_p99", "flight_captures_total"} {
+		if !strings.Contains(string(scrape), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, scrape)
+		}
+	}
+
+	// On-demand capture over HTTP works too and lands in the spool.
+	resp, err = http.Get(url("/debug/bundle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"reason"`)) {
+		t.Fatalf("/debug/bundle: status %d: %.200s", resp.StatusCode, body)
+	}
+}

@@ -348,12 +348,14 @@ type ipWalker struct {
 	goCalls    map[*ast.CallExpr]bool // calls that are GoStmt bodies
 	invoked    map[*ast.FuncLit]EdgeKind
 	calleeExpr map[ast.Expr]bool // the Fun expr of each visited call
+	selectComm map[ast.Node]bool // comm ops guarded by an enclosing select
 }
 
 func (w *ipWalker) walk() {
 	w.goCalls = make(map[*ast.CallExpr]bool)
 	w.invoked = make(map[*ast.FuncLit]EdgeKind)
 	w.calleeExpr = make(map[ast.Expr]bool)
+	w.selectComm = make(map[ast.Node]bool)
 	ast.Inspect(w.info.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.GoStmt:
@@ -375,13 +377,17 @@ func (w *ipWalker) walk() {
 			}
 			return false
 		case *ast.UnaryExpr:
-			if x.Op == token.ARROW {
+			// A receive that is a select clause's comm op blocks (or not)
+			// as part of the select — selectStmt already accounted for it.
+			if x.Op == token.ARROW && !w.selectComm[x] {
 				w.info.Facts.Lifecycle = true
 				w.blocking(x.Pos(), x.X, "channel receive")
 			}
 		case *ast.SendStmt:
-			w.info.Facts.Lifecycle = true
-			w.blocking(x.Pos(), x.Chan, "channel send")
+			if !w.selectComm[x] {
+				w.info.Facts.Lifecycle = true
+				w.blocking(x.Pos(), x.Chan, "channel send")
+			}
 		case *ast.RangeStmt:
 			if tv, ok := w.pkg.Info.Types[x.X]; ok {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
@@ -402,8 +408,12 @@ func (w *ipWalker) walk() {
 }
 
 // selectStmt marks blocking for selects with no default clause whose
-// channels are not all function-local.
+// channels are not all function-local. Every clause's comm op is
+// registered in selectComm so the generic send/receive cases skip it:
+// the select, not the op, decides whether control blocks (pre-order
+// traversal guarantees this runs before the comm ops are visited).
 func (w *ipWalker) selectStmt(sel *ast.SelectStmt) {
+	hasDefault := false
 	external := false
 	for _, c := range sel.Body.List {
 		cc, ok := c.(*ast.CommClause)
@@ -411,24 +421,30 @@ func (w *ipWalker) selectStmt(sel *ast.SelectStmt) {
 			continue
 		}
 		if cc.Comm == nil {
-			return // default clause: cannot block
+			hasDefault = true
+			continue
 		}
 		switch comm := cc.Comm.(type) {
 		case *ast.SendStmt:
+			w.selectComm[comm] = true
 			if w.external(comm.Chan) {
 				external = true
 			}
 		default:
 			// Receive: find the arrow operand in the clause.
 			ast.Inspect(cc.Comm, func(n ast.Node) bool {
-				if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && w.external(u.X) {
-					external = true
+				if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					w.selectComm[u] = true
+					if w.external(u.X) {
+						external = true
+					}
+					return false
 				}
-				return !external
+				return true
 			})
 		}
 	}
-	if external {
+	if external && !hasDefault {
 		w.setBlocking(sel.Pos(), "select without default")
 	}
 }

@@ -120,6 +120,11 @@ type Options struct {
 	// compaction, outside all pipeline locks — the server uses it to
 	// bump its snapshot generation and metrics.
 	OnPublish func(Report)
+	// OnFsync, when non-nil, receives the duration of every WAL append
+	// fsync (wired to wal.Log.SetSyncObserver). It runs inside the WAL's
+	// critical section and must be cheap — the anomaly watchdog feeds it
+	// into a windowed latency histogram.
+	OnFsync func(elapsed time.Duration)
 	// Logf, when non-nil, receives progress lines (compaction start,
 	// mode, timings, failures).
 	Logf func(format string, args ...any)
@@ -166,6 +171,10 @@ type Stats struct {
 	Compactions  uint64 `json:"compactions_total"`
 	Compacting   bool   `json:"compacting"`
 	CompactEvery int    `json:"compact_every"`
+	// CompactingSinceUnixNano is the start time of the compaction in
+	// flight, 0 when none is running — the watchdog's stalled-compaction
+	// signal.
+	CompactingSinceUnixNano int64 `json:"compacting_since_unix_nano,omitempty"`
 	// LastCompactUnixNano is 0 until the first compaction completes.
 	LastCompactUnixNano int64  `json:"last_compaction_unix_nano"`
 	LastCompactMode     string `json:"last_compaction_mode,omitempty"`
@@ -186,13 +195,14 @@ type Pipeline struct {
 	live     *dynamic.Index
 	curGraph *graph.Graph
 
-	compactMu   sync.Mutex // serializes whole compactions
-	compacting  atomic.Bool
-	updates     atomic.Uint64
-	compactions atomic.Uint64
-	lastCompact atomic.Int64
-	lastSwap    atomic.Int64
-	lastMode    atomic.Pointer[string]
+	compactMu    sync.Mutex // serializes whole compactions
+	compacting   atomic.Bool
+	compactSince atomic.Int64 // start of the in-flight compaction; 0 when idle
+	updates      atomic.Uint64
+	compactions  atomic.Uint64
+	lastCompact  atomic.Int64
+	lastSwap     atomic.Int64
+	lastMode     atomic.Pointer[string]
 
 	kickC chan struct{}
 	stopC chan struct{}
@@ -277,6 +287,9 @@ func Open(opt Options) (*Pipeline, error) {
 	log, ups, err := wal.Open(filepath.Join(opt.Dir, WALFile))
 	if err != nil {
 		return nil, err
+	}
+	if opt.OnFsync != nil {
+		log.SetSyncObserver(opt.OnFsync)
 	}
 	live := dynamic.FromIndex(g, idx)
 	for i, up := range ups {
@@ -416,7 +429,11 @@ func (p *Pipeline) Compact() (Report, error) {
 	p.compactMu.Lock()
 	defer p.compactMu.Unlock()
 	p.compacting.Store(true)
-	defer p.compacting.Store(false)
+	p.compactSince.Store(time.Now().UnixNano())
+	defer func() {
+		p.compactSince.Store(0)
+		p.compacting.Store(false)
+	}()
 
 	var tr *trace.Tracer
 	var tr0 int64
@@ -524,14 +541,15 @@ func (p *Pipeline) Compact() (Report, error) {
 // Stats snapshots the pipeline's observable state.
 func (p *Pipeline) Stats() Stats {
 	s := Stats{
-		WALRecords:          p.log.Len(),
-		WALBytes:            p.log.Bytes(),
-		Updates:             p.updates.Load(),
-		Compactions:         p.compactions.Load(),
-		Compacting:          p.compacting.Load(),
-		CompactEvery:        p.opt.CompactEvery,
-		LastCompactUnixNano: p.lastCompact.Load(),
-		LastSwapNanos:       p.lastSwap.Load(),
+		WALRecords:              p.log.Len(),
+		WALBytes:                p.log.Bytes(),
+		Updates:                 p.updates.Load(),
+		Compactions:             p.compactions.Load(),
+		Compacting:              p.compacting.Load(),
+		CompactEvery:            p.opt.CompactEvery,
+		CompactingSinceUnixNano: p.compactSince.Load(),
+		LastCompactUnixNano:     p.lastCompact.Load(),
+		LastSwapNanos:           p.lastSwap.Load(),
 	}
 	if m := p.lastMode.Load(); m != nil {
 		s.LastCompactMode = *m

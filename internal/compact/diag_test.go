@@ -1,0 +1,68 @@
+package compact
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFsyncObserverAndCompactingSince: OnFsync is wired through to the
+// WAL (one callback per durable Update), and Stats exposes the
+// in-flight compaction start time — 0 when idle, the wall-clock start
+// while a compaction runs.
+func TestFsyncObserverAndCompactingSince(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base := randomGraph(r, 12, 6)
+	var fsyncs atomic.Int64
+	var sinceDuringCompact atomic.Int64
+	var p *Pipeline
+	p, err := Open(Options{
+		Dir:   t.TempDir(),
+		Graph: base,
+		OnFsync: func(d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative fsync duration %v", d)
+			}
+			fsyncs.Add(1)
+		},
+		// OnPublish runs inside Compact before the in-flight marker
+		// clears, so it can witness the mid-compaction Stats view.
+		OnPublish: func(Report) {
+			sinceDuringCompact.Store(p.Stats().CompactingSinceUnixNano)
+		},
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer p.Close()
+
+	if since := p.Stats().CompactingSinceUnixNano; since != 0 {
+		t.Fatalf("idle pipeline reports compacting_since %d", since)
+	}
+
+	ups := randomInserts(r, 12, 5)
+	for _, up := range ups {
+		if err := p.Update(up.U, up.V, up.W); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	if got := fsyncs.Load(); got != int64(len(ups)) {
+		t.Fatalf("OnFsync fired %d times for %d updates", got, len(ups))
+	}
+
+	before := time.Now().UnixNano()
+	if _, err := p.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := sinceDuringCompact.Load(); got < before {
+		t.Fatalf("mid-compaction compacting_since = %d, want >= %d", got, before)
+	}
+	st := p.Stats()
+	if st.CompactingSinceUnixNano != 0 {
+		t.Fatalf("completed compaction left compacting_since %d", st.CompactingSinceUnixNano)
+	}
+	if st.LastCompactUnixNano < before {
+		t.Fatalf("last compaction stamp %d predates the run (%d)", st.LastCompactUnixNano, before)
+	}
+}

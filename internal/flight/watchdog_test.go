@@ -1,0 +1,203 @@
+package flight
+
+import (
+	"testing"
+	"time"
+
+	"parapll/internal/metrics"
+)
+
+func verdict(t *testing.T, rep HealthReport, name string) Verdict {
+	t.Helper()
+	for _, v := range rep.Verdicts {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no verdict %q in %+v", name, rep)
+	return Verdict{}
+}
+
+// TestWatchdogHysteresis drives a synthetic p99 breach through the
+// state machine: one bad window must not alarm, one good window must
+// not clear an alarm, and the verdict gauges track the transitions.
+func TestWatchdogHysteresis(t *testing.T) {
+	reg := metrics.NewRegistry()
+	w := NewWatchdog(WatchdogOptions{BreachAfter: 2, ClearAfter: 3, Registry: reg})
+	h := metrics.NewWindowed(metrics.DefaultLatencyBuckets, 4)
+	w.AddLatencyRule("query_p99", "us", h, 0.99, 1000, 1)
+
+	breachGauge := func() int64 { return reg.Snapshot().Gauges["slo.breach.query_p99"] }
+
+	// Empty window: healthy.
+	if entered := w.Tick(); len(entered) != 0 {
+		t.Fatalf("empty window entered breach: %v", entered)
+	}
+	if rep := w.Health(); rep.Status != "ok" || rep.Ticks != 1 {
+		t.Fatalf("health = %+v", rep)
+	}
+
+	// First bad window: still no alarm (hysteresis).
+	h.Observe(50_000)
+	if entered := w.Tick(); len(entered) != 0 {
+		t.Fatalf("single bad window alarmed: %v", entered)
+	}
+	if breachGauge() != 0 {
+		t.Fatal("gauge flipped after one bad window")
+	}
+
+	// Second consecutive bad window: breach.
+	h.Observe(50_000)
+	entered := w.Tick()
+	if len(entered) != 1 || entered[0] != "query_p99" {
+		t.Fatalf("entered = %v, want [query_p99]", entered)
+	}
+	rep := w.Health()
+	if rep.Status != "breach" {
+		t.Fatalf("status = %s, want breach", rep.Status)
+	}
+	v := verdict(t, rep, "query_p99")
+	if !v.Breached || v.BreachesTotal != 1 || v.Value <= 1000 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if breachGauge() != 1 {
+		t.Fatal("breach gauge not set")
+	}
+
+	// Good windows: the first two must NOT clear (no flapping)...
+	for i := 0; i < 2; i++ {
+		h.Observe(10)
+		w.Tick()
+		if !verdict(t, w.Health(), "query_p99").Breached {
+			t.Fatalf("cleared after %d good windows (ClearAfter=3)", i+1)
+		}
+	}
+	// ...the third does.
+	h.Observe(10)
+	w.Tick()
+	if verdict(t, w.Health(), "query_p99").Breached || breachGauge() != 0 {
+		t.Fatal("did not clear after 3 good windows")
+	}
+
+	// Re-entering breach counts again.
+	for i := 0; i < 2; i++ {
+		h.Observe(50_000)
+		w.Tick()
+	}
+	if v := verdict(t, w.Health(), "query_p99"); !v.Breached || v.BreachesTotal != 2 {
+		t.Fatalf("re-breach verdict = %+v", v)
+	}
+
+	// An idle (empty-window) stretch counts as healthy and stands the
+	// alarm down.
+	for i := 0; i < 3; i++ {
+		w.Tick()
+	}
+	if verdict(t, w.Health(), "query_p99").Breached {
+		t.Fatal("idle windows did not clear the breach")
+	}
+}
+
+// TestWatchdogCaptureRateLimit: a breach auto-captures exactly once
+// within MinGap — a second rule breaching in the same tick (or a
+// flapping rule re-breaching) is suppressed, not spooled.
+func TestWatchdogCaptureRateLimit(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec, err := New(Options{Dir: t.TempDir(), MinGap: time.Hour}, Sources{Registry: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w := NewWatchdog(WatchdogOptions{BreachAfter: 1, ClearAfter: 1, Registry: reg, Recorder: rec})
+	h1 := metrics.NewWindowed(metrics.DefaultLatencyBuckets, 4)
+	h2 := metrics.NewWindowed(metrics.DefaultLatencyBuckets, 4)
+	w.AddLatencyRule("query_p99", "us", h1, 0.99, 1000, 1)
+	w.AddLatencyRule("fsync_p99", "us", h2, 0.99, 1000, 1)
+
+	// Both rules breach in one tick: one capture, one suppression.
+	h1.Observe(100_000)
+	h2.Observe(100_000)
+	if entered := w.Tick(); len(entered) != 2 {
+		t.Fatalf("entered = %v, want both rules", entered)
+	}
+	if got := len(rec.Spool()); got != 1 {
+		t.Fatalf("spool holds %d bundles after double breach, want 1", got)
+	}
+
+	// Clear, then re-breach within MinGap: still suppressed.
+	w.Tick()
+	h1.Observe(100_000)
+	w.Tick()
+	if got := len(rec.Spool()); got != 1 {
+		t.Fatalf("spool holds %d bundles after re-breach, want 1 (rate-limited)", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["flight.suppressed_total"] < 2 {
+		t.Fatalf("suppressed_total = %d, want >= 2", snap.Counters["flight.suppressed_total"])
+	}
+	// Every tick sampled the registry into the rolling ring.
+	if b := rec.Build("probe"); len(b.MetricRing) < 3 {
+		t.Fatalf("metric ring holds %d samples, want >= 3", len(b.MetricRing))
+	}
+}
+
+// TestWatchdogCounterAndProbeRules covers the two non-latency rule
+// shapes: counter deltas per window and arbitrary probes.
+func TestWatchdogCounterAndProbeRules(t *testing.T) {
+	reg := metrics.NewRegistry()
+	w := NewWatchdog(WatchdogOptions{BreachAfter: 1, ClearAfter: 1, Registry: reg})
+	fails := reg.Counter("reload.failures_total")
+	w.AddCounterRule("reload_failures", fails, 0)
+
+	var stalled bool
+	w.AddProbeRule("compact_overdue", "ms", 5000, func() (int64, bool) {
+		if stalled {
+			return 9999, true
+		}
+		return 0, false
+	})
+
+	w.Tick()
+	if rep := w.Health(); rep.Status != "ok" {
+		t.Fatalf("initial status = %s", rep.Status)
+	}
+
+	fails.Inc()
+	stalled = true
+	w.Tick()
+	rep := w.Health()
+	if v := verdict(t, rep, "reload_failures"); !v.Breached || v.Value != 1 {
+		t.Fatalf("counter verdict = %+v", v)
+	}
+	if v := verdict(t, rep, "compact_overdue"); !v.Breached || v.Value != 9999 {
+		t.Fatalf("probe verdict = %+v", v)
+	}
+
+	// No new failures next window: the delta is 0, so it clears.
+	stalled = false
+	w.Tick()
+	if rep := w.Health(); rep.Status != "breach" && verdict(t, rep, "reload_failures").Breached {
+		t.Fatalf("counter rule did not clear: %+v", rep)
+	}
+	if verdict(t, w.Health(), "compact_overdue").Breached {
+		t.Fatal("probe rule did not clear")
+	}
+}
+
+// TestWatchdogStartStop: the background loop ticks on its own and
+// stops cleanly (double Stop and stop-without-start included).
+func TestWatchdogStartStop(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{Window: 5 * time.Millisecond})
+	w.Start()
+	deadline := time.After(2 * time.Second)
+	for w.Health().Ticks == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("loop never ticked")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	w.Stop()
+	w.Stop() // idempotent
+
+	NewWatchdog(WatchdogOptions{}).Stop() // stop-without-start is safe
+}

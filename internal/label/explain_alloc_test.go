@@ -1,0 +1,42 @@
+//go:build !race
+
+// AllocsPerRun is meaningless under the race detector (its
+// instrumentation allocates), mirroring internal/bench's gating.
+
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapll/internal/graph"
+)
+
+var allocSinkDist graph.Dist
+var allocSinkHub graph.Vertex
+
+// TestQueryAllocsZero guards the tentpole's "hot kernel untouched"
+// criterion from inside the label package: adding the explain sibling
+// must leave Query and QueryWithHub at zero allocations per call.
+func TestQueryAllocsZero(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 64
+	s := NewStore(n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < 24; k++ {
+			s.Append(graph.Vertex(v), graph.Vertex(r.Intn(n)), graph.Dist(r.Intn(1000)+1))
+		}
+	}
+	x := NewIndex(s)
+
+	if a := testing.AllocsPerRun(200, func() {
+		allocSinkDist = x.Query(3, 41)
+	}); a != 0 {
+		t.Fatalf("Query allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		allocSinkDist, allocSinkHub = x.QueryWithHub(3, 41)
+	}); a != 0 {
+		t.Fatalf("QueryWithHub allocates %.1f/op, want 0", a)
+	}
+}

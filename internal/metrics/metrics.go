@@ -90,6 +90,19 @@ func (h *Histogram) Observe(v int64) {
 // Count returns how many values have been observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Reset zeroes every bucket plus count and sum. Observes racing a
+// Reset may straddle the two epochs (e.g. land in a bucket but miss
+// the count); windowed consumers (WindowedHistogram) tolerate that
+// one-observation skew. Cumulative registry histograms are never
+// reset.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 

@@ -8,24 +8,69 @@ import (
 	"strings"
 )
 
+// helpByPrefix maps registry-name prefixes (the raw dotted names, not
+// the sanitized ones) to # HELP text. Longest matching prefix wins, so
+// a family doc ("http.requests." → per-endpoint request counters)
+// covers every series minted under it without per-name registration.
+var helpByPrefix = []struct{ prefix, help string }{
+	{"http.requests.", "HTTP requests served, by endpoint."},
+	{"http.errors.", "HTTP responses with status >= 400, by endpoint."},
+	{"http.latency_us.", "HTTP request latency in microseconds, by endpoint."},
+	{"http.inflight", "HTTP requests currently being served."},
+	{"cache.", "Distance-cache activity (hits, misses, evictions)."},
+	{"wal.", "Write-ahead-log state (records and bytes pending compaction)."},
+	{"compact.", "Background compaction state (generation, last run)."},
+	{"index.", "Published index snapshot state."},
+	{"reload.", "Snapshot reload activity and failures."},
+	{"slo.", "Anomaly-watchdog SLO verdicts (1 = breached) and last evaluated values."},
+	{"flight.", "Flight-recorder activity (captures, suppressed triggers)."},
+	{"build.", "Index build progress."},
+	{"trace.", "Trace ring-buffer state."},
+}
+
+// helpFor returns the # HELP text for a registry name, falling back to
+// a generic line so every series carries metadata.
+func helpFor(name string) string {
+	best := ""
+	bestLen := -1
+	for _, e := range helpByPrefix {
+		if len(e.prefix) > bestLen && strings.HasPrefix(name, e.prefix) {
+			best, bestLen = e.help, len(e.prefix)
+		}
+	}
+	if best == "" {
+		return "parapll metric " + name + "."
+	}
+	return best
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslash and newline must be escaped (the format is line-oriented).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters as `counter`, gauges as `gauge`, and
 // histograms as the conventional `_bucket{le="..."}` / `_sum` / `_count`
 // triple with cumulative bucket counts and a final le="+Inf" bucket.
-// Metric names are sanitized to [a-zA-Z0-9_:] (dots become underscores)
-// and emitted in sorted order, so output is stable and diffable.
+// Every series carries `# HELP` and `# TYPE` metadata so scrapers
+// classify it correctly. Metric names are sanitized to [a-zA-Z0-9_:]
+// (dots become underscores) and emitted in sorted order, so output is
+// stable and diffable.
 func WritePrometheus(w io.Writer, s Snapshot) {
 	writeSorted(s.Counters, func(name string, v int64) {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, v)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", n, escapeHelp(helpFor(name)), n, n, v)
 	})
 	writeSorted(s.Gauges, func(name string, v int64) {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, v)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", n, escapeHelp(helpFor(name)), n, n, v)
 	})
 	writeSorted(s.Histograms, func(name string, h HistogramSnapshot) {
 		n := promName(name)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", n, escapeHelp(helpFor(name)), n)
 		cum := int64(0)
 		for _, b := range h.Buckets {
 			cum += b.Count

@@ -36,6 +36,42 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusHelp: every series carries a # HELP line before
+// its # TYPE line — known families get real text, unknown names a
+// generic fallback — and HELP text is newline/backslash escaped.
+func TestWritePrometheusHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http.requests.query").Inc()
+	r.Gauge("slo.breach.query_p99").Set(1)
+	r.Histogram("http.latency_us.query", []int64{10}).Observe(5)
+	r.Counter("totally.unknown.metric").Inc()
+
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	got := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_query HTTP requests served, by endpoint.\n# TYPE http_requests_query counter\n",
+		"# HELP slo_breach_query_p99 Anomaly-watchdog SLO verdicts (1 = breached) and last evaluated values.\n# TYPE slo_breach_query_p99 gauge\n",
+		"# HELP http_latency_us_query HTTP request latency in microseconds, by endpoint.\n# TYPE http_latency_us_query histogram\n",
+		"# HELP totally_unknown_metric parapll metric totally.unknown.metric.\n# TYPE totally_unknown_metric counter\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Exactly one HELP line per series (4 series here).
+	if n := strings.Count(got, "# HELP "); n != 4 {
+		t.Fatalf("got %d HELP lines, want 4:\n%s", n, got)
+	}
+	if strings.Count(got, "# TYPE ") != 4 {
+		t.Fatalf("HELP/TYPE count mismatch:\n%s", got)
+	}
+
+	if e := escapeHelp("a\\b\nc"); e != `a\\b\nc` {
+		t.Fatalf("escapeHelp = %q", e)
+	}
+}
+
 // TestPromName: the name sanitizer maps registry names onto the
 // Prometheus alphabet without collisions on the common cases.
 func TestPromName(t *testing.T) {

@@ -85,6 +85,34 @@ func (o *Cached) Query(s, t graph.Vertex) graph.Dist {
 	return d
 }
 
+// QueryNote is Query plus a hit report: it answers identically
+// (including the per-query trace sampling) and additionally returns
+// whether the answer came from the cache. The serving layer uses it to
+// attribute slow-log entries; the plain Query stays the hot-path shape.
+func (o *Cached) QueryNote(s, t graph.Vertex) (graph.Dist, bool) {
+	if o.opt.Tracer != nil {
+		if tr := o.opt.Tracer(); tr.Sample() {
+			t0 := tr.Now()
+			d, hit := o.query(s, t)
+			var h uint64
+			if hit {
+				h = 1
+			}
+			tr.Buf(trace.TIDCache).Span(tr.Intern("qcache.query", "hit"), t0, tr.Now(), h)
+			return d, hit
+		}
+	}
+	return o.query(s, t)
+}
+
+// Peek reports the cached answer for (s,t) under this wrapper's
+// generation without disturbing LRU order or counters (see Cache.Peek).
+// Pair canonicalization matches Query's.
+func (o *Cached) Peek(s, t graph.Vertex) (graph.Dist, bool) {
+	cs, ct := o.canon(s, t)
+	return o.cache.Peek(o.gen, cs, ct)
+}
+
 // QueryWithHub delegates to the inner oracle: the cache stores
 // distances only, and hub queries are rare (diagnostics, path
 // reconstruction) next to plain distance traffic.

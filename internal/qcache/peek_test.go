@@ -1,0 +1,64 @@
+package qcache
+
+import (
+	"math/rand"
+	"testing"
+
+	"parapll/internal/pll"
+)
+
+// TestPeekDoesNotDisturb: Peek sees exactly what Get would, but leaves
+// counters and LRU order untouched; QueryNote reports the hit bit while
+// answering identically to Query.
+func TestPeekDoesNotDisturb(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g := randomConnected(r, 30, 40)
+	x := pll.Build(g, pll.Options{})
+	c := New(1 << 10)
+	w := Wrap(x, c, 5, Options{Symmetric: true})
+
+	if _, ok := w.Peek(3, 17); ok {
+		t.Fatal("Peek hit on an empty cache")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved counters: %+v", st)
+	}
+
+	d, hit := w.QueryNote(3, 17)
+	if hit {
+		t.Fatal("first QueryNote reported a hit")
+	}
+	if want := x.Query(3, 17); d != want {
+		t.Fatalf("QueryNote = %d, want %d", d, want)
+	}
+	if d2, hit := w.QueryNote(17, 3); !hit || d2 != d { // symmetric canon
+		t.Fatalf("second QueryNote = (%d, hit=%v), want (%d, true)", d2, hit, d)
+	}
+
+	st := c.Stats()
+	pd, ok := w.Peek(3, 17)
+	if !ok || pd != d {
+		t.Fatalf("Peek = (%d,%v), want (%d,true)", pd, ok, d)
+	}
+	if got := c.Stats(); got != st {
+		t.Fatalf("Peek changed stats: %+v -> %+v", st, got)
+	}
+
+	// Peek must not refresh LRU: fill a tiny cache where a Get-shaped
+	// probe of the oldest entry would rescue it from eviction, Peek it,
+	// then overflow — the peeked entry must still be the one evicted.
+	tiny := New(2) // one shard (size < GOMAXPROCS scaling is capped by entries)
+	if len(tiny.shards) != 1 {
+		t.Skipf("cache built %d shards; LRU-order check needs 1", len(tiny.shards))
+	}
+	tiny.Put(1, 0, 1, 10)
+	tiny.Put(1, 0, 2, 20)
+	tiny.Peek(1, 0, 1) // would move (0,1) to front if it were a Get
+	tiny.Put(1, 0, 3, 30)
+	if _, ok := tiny.Peek(1, 0, 1); ok {
+		t.Fatal("Peek refreshed LRU order: (0,1) survived eviction")
+	}
+	if _, ok := tiny.Peek(1, 0, 2); !ok {
+		t.Fatal("(0,2) was evicted instead of the LRU entry")
+	}
+}

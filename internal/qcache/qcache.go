@@ -210,6 +210,22 @@ func (c *Cache) Get(gen uint64, s, t graph.Vertex) (graph.Dist, bool) {
 	return d, ok
 }
 
+// Peek reports whether (s,t) under generation gen is cached, without
+// refreshing its LRU position or touching the hit/miss counters — a
+// pure diagnostic probe (the /debug/explain cache view) that leaves
+// the cache's behavior and statistics exactly as they were.
+func (c *Cache) Peek(gen uint64, s, t graph.Vertex) (graph.Dist, bool) {
+	k := key{gen: gen, s: s, t: t}
+	sh := &c.shards[k.hash()&c.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.m[k]
+	if !ok {
+		return 0, false
+	}
+	return sh.ents[i].d, true
+}
+
 // Put stores the answer for (s,t) under generation gen, evicting the
 // shard's least-recently-used entry at capacity. graph.Inf is a valid
 // answer (negative caching).

@@ -60,6 +60,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -69,6 +71,7 @@ import (
 
 	"parapll/internal/compact"
 	"parapll/internal/dynamic"
+	"parapll/internal/flight"
 	"parapll/internal/graph"
 	"parapll/internal/knn"
 	"parapll/internal/label"
@@ -171,6 +174,21 @@ type Server struct {
 	walBytes    *metrics.Gauge
 	compactGen  *metrics.Gauge
 	lastCompact *metrics.Gauge
+
+	// Diagnostics seams, installed by cmd/parapll-server: the flight
+	// recorder behind /debug/bundle (and the automatic dump when a
+	// handler panics), the watchdog behind /debug/health, and the
+	// windowed query-latency histogram the watchdog's p99 rule evaluates
+	// (fed by the /query and /batch middleware; the watchdog owns its
+	// rotation). All atomic so they can be armed after traffic starts.
+	flightRec   atomic.Pointer[flight.Recorder]
+	watchdog    atomic.Pointer[flight.Watchdog]
+	queryWindow atomic.Pointer[metrics.WindowedHistogram]
+
+	// reloadFailures counts failed reloads (HTTP and SIGHUP alike) — the
+	// watchdog's reload-failure rule watches its per-window delta.
+	reloadFailures *metrics.Counter
+	panics         *metrics.Counter
 }
 
 // requestLanes is how many trace ring buffers sampled request spans are
@@ -212,6 +230,8 @@ func NewPending(reg *metrics.Registry) *Server {
 	s.slow = NewSlowLog(defaultSlowCapacity, defaultSlowThreshold)
 	s.inflight = reg.Gauge("http.inflight")
 	s.generation = reg.Gauge("index.generation")
+	s.reloadFailures = reg.Counter("reload.failures_total")
+	s.panics = reg.Counter("http.panics_total")
 	s.handleSnap("/query", http.MethodGet, s.handleQuery)
 	s.handleSnap("/batch", http.MethodPost, s.handleBatch)
 	s.handleSnap("/path", http.MethodGet, s.handlePath)
@@ -224,8 +244,40 @@ func NewPending(reg *metrics.Registry) *Server {
 	s.handle("/metrics", http.MethodGet, s.handleMetrics)
 	s.handle("/debug/slow", http.MethodGet, s.handleDebugSlow)
 	s.handle("/debug/trace", http.MethodGet, s.handleDebugTrace)
+	s.handleSnap("/debug/explain", http.MethodGet, s.handleDebugExplain)
+	s.handle("/debug/health", http.MethodGet, s.handleDebugHealth)
+	s.handle("/debug/bundle", http.MethodGet, s.handleDebugBundle)
 	return s
 }
+
+// SetFlight installs (or removes, with nil) the flight recorder behind
+// GET /debug/bundle; once set, a handler panic also dumps a bundle
+// before the 500 goes out. Safe to call concurrently with traffic.
+func (s *Server) SetFlight(rec *flight.Recorder) { s.flightRec.Store(rec) }
+
+// Flight returns the installed flight recorder (nil if none).
+func (s *Server) Flight() *flight.Recorder { return s.flightRec.Load() }
+
+// SetWatchdog installs the anomaly watchdog behind GET /debug/health.
+// The caller owns its lifecycle (Start/Stop); the server only reads
+// verdicts. Safe to call concurrently with traffic.
+func (s *Server) SetWatchdog(w *flight.Watchdog) { s.watchdog.Store(w) }
+
+// Watchdog returns the installed watchdog (nil if none).
+func (s *Server) Watchdog() *flight.Watchdog { return s.watchdog.Load() }
+
+// SetQueryLatencyWindow points the /query and /batch middleware at a
+// windowed histogram (microseconds). Pass the same histogram to the
+// watchdog's latency rule: the middleware only observes, the watchdog
+// rotates and judges.
+func (s *Server) SetQueryLatencyWindow(h *metrics.WindowedHistogram) {
+	s.queryWindow.Store(h)
+}
+
+// ReloadFailures returns the counter behind the watchdog's
+// reload-failure rule, so cmd/parapll-server can register the rule on
+// the exact counter the serve path increments.
+func (s *Server) ReloadFailures() *metrics.Counter { return s.reloadFailures }
 
 // SetTracer installs (or, with nil, removes) the tracer behind sampled
 // request spans and GET /debug/trace. Wired from the -trace-sample flag
@@ -423,6 +475,20 @@ func (s *Server) Reload(path string) (uint64, error) {
 // concurrent publish mid-reload cannot split the decisions across
 // generations (the original form of PR 3's stale-pidx bug).
 func (s *Server) reload(path string) (*snapshot, error) {
+	sn, err := s.reloadInner(path)
+	if err != nil && !errors.Is(err, ErrReloadBusy) {
+		// Busy is back-pressure, not a failure of the serving artifact;
+		// everything else feeds the watchdog's reload-failure rule and
+		// the flight recorder's error ring.
+		s.reloadFailures.Inc()
+		if rec := s.flightRec.Load(); rec != nil {
+			rec.RecordError("reload", err)
+		}
+	}
+	return sn, err
+}
+
+func (s *Server) reloadInner(path string) (*snapshot, error) {
 	lp := s.loader.Load()
 	if lp == nil || *lp == nil {
 		return nil, ErrNoLoader
@@ -455,10 +521,28 @@ func (s *Server) reload(path string) (*snapshot, error) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // statusWriter remembers the first status code a handler wrote so the
-// middleware can count errors without re-deriving them per handler.
+// middleware can count errors without re-deriving them per handler,
+// plus the handler's slow-log annotations: the snapshot generation the
+// request was served from and whether the distance cache answered.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	gen    uint64
+	cache  int8 // cacheNone / cacheMiss / cacheHit
+}
+
+// noteCache annotates the in-flight request's slow-log entry with the
+// distance-cache outcome. w is the middleware's statusWriter on the
+// serving path; anything else (a bare ResponseWriter in a unit test) is
+// a silent no-op.
+func noteCache(w http.ResponseWriter, hit bool) {
+	if sw, ok := w.(*statusWriter); ok {
+		if hit {
+			sw.cache = cacheHit
+		} else {
+			sw.cache = cacheMiss
+		}
+	}
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -480,6 +564,9 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 	errorsC := s.reg.Counter("http.errors." + name)
 	latency := s.reg.Histogram("http.latency_us."+name, metrics.DefaultLatencyBuckets)
 	spanName := "http " + name
+	// The watchdog's query-p99 rule judges the user-visible distance
+	// endpoints, not debug or admin traffic.
+	windowed := path == "/query" || path == "/batch"
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		s.inflight.Inc()
@@ -489,10 +576,15 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 		if r.Method != method {
 			writeErr(sw, http.StatusMethodNotAllowed, fmt.Errorf("%s only", method))
 		} else {
-			h(sw, r)
+			s.invoke(h, sw, r, spanName)
 		}
 		elapsed := time.Since(start)
 		latency.Observe(elapsed.Microseconds())
+		if windowed {
+			if qw := s.queryWindow.Load(); qw != nil {
+				qw.Observe(elapsed.Microseconds())
+			}
+		}
 		if sw.status >= 400 {
 			errorsC.Inc()
 		}
@@ -500,7 +592,7 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 		if status == 0 {
 			status = http.StatusOK // handler wrote the body without WriteHeader
 		}
-		s.slow.Observe(r.Method, path, r.URL.RawQuery, status, start, elapsed)
+		s.slow.Observe(r.Method, path, r.URL.RawQuery, status, sw.gen, sw.cache, start, elapsed)
 		if tr := s.tracer.Load(); tr.Sample() {
 			lane := trace.TIDRequestBase + int(s.traceLane.Add(1)%requestLanes)
 			id := tr.Intern(spanName, "status")
@@ -508,6 +600,27 @@ func (s *Server) handle(path, method string, h http.HandlerFunc) {
 			tr.Buf(lane).Span(id, t1, t1+elapsed.Nanoseconds(), uint64(status))
 		}
 	})
+}
+
+// invoke runs one handler behind a panic barrier: a panicking handler
+// must not take the process (and every in-flight request) with it, but
+// the evidence must survive — the flight recorder dumps a bundle (panic
+// captures bypass the auto-trigger rate limit) before the 500 goes out,
+// and the rest of the middleware still records latency and the error
+// count for the request.
+func (s *Server) invoke(h http.HandlerFunc, sw *statusWriter, r *http.Request, spanName string) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		s.panics.Inc()
+		if rec := s.flightRec.Load(); rec != nil {
+			rec.TriggerPanic(spanName, p)
+		}
+		writeErr(sw, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+	}()
+	h(sw, r)
 }
 
 // handleSnap is handle for endpoints that need serving state: the
@@ -521,6 +634,9 @@ func (s *Server) handleSnap(path, method string, h func(sn *snapshot, w http.Res
 		if sn == nil {
 			writeErr(w, http.StatusServiceUnavailable, errors.New("index is still loading"))
 			return
+		}
+		if sw, ok := w.(*statusWriter); ok {
+			sw.gen = sn.gen // slow-log entries name the generation they ran on
 		}
 		h(sn, w, r)
 	})
@@ -577,7 +693,16 @@ func (s *Server) handleQuery(sn *snapshot, w http.ResponseWriter, r *http.Reques
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	d := sn.ora.Query(src, dst)
+	var d graph.Dist
+	if c, ok := sn.ora.(*qcache.Cached); ok {
+		// Same lookup as Query, plus the hit bit for the slow log: a slow
+		// cache *hit* indicts the HTTP layer, a slow miss the merge kernel.
+		var hit bool
+		d, hit = c.QueryNote(src, dst)
+		noteCache(w, hit)
+	} else {
+		d = sn.ora.Query(src, dst)
+	}
 	writeJSON(w, http.StatusOK, queryResponse{
 		S: src, T: dst, Dist: encodeDist(d), Reachable: d != graph.Inf,
 	})
@@ -707,7 +832,7 @@ type statsResponse struct {
 	Wal *compact.Stats `json:"wal,omitempty"`
 }
 
-func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+func (s *Server) statsPayload(sn *snapshot) statsResponse {
 	resp := statsResponse{
 		Vertices:     sn.idx.NumVertices(),
 		Entries:      sn.idx.NumEntries(),
@@ -723,7 +848,22 @@ func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Reques
 		resp.Cache = &st
 	}
 	resp.Wal = s.refreshUpdaterGauges()
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (s *Server) handleStats(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsPayload(sn))
+}
+
+// StatsPayload returns the /stats payload for the current snapshot (nil
+// before the first Publish) — the flight recorder's Stats source, so a
+// bundle embeds exactly what /stats would have answered at capture time.
+func (s *Server) StatsPayload() any {
+	sn := s.snap.Load()
+	if sn == nil {
+		return nil
+	}
+	return s.statsPayload(sn)
 }
 
 // maxUpdateBytes bounds the /update request body (three small ints)
@@ -924,7 +1064,10 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 	sec := 5.0
 	if raw := r.URL.Query().Get("sec"); raw != "" {
 		v, err := strconv.ParseFloat(raw, 64)
-		if err != nil || v <= 0 || v > maxCaptureSec {
+		// !(v > 0) instead of v <= 0: ParseFloat("nan", 64) succeeds, and
+		// NaN compares false to everything — `v <= 0` would wave it
+		// through into time.Duration(NaN * 1e9), an unbounded sleep.
+		if err != nil || !(v > 0) || v > maxCaptureSec {
 			writeErr(w, http.StatusBadRequest,
 				fmt.Errorf("bad sec %q (want 0 < sec <= %g)", raw, maxCaptureSec))
 			return
@@ -949,6 +1092,100 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// explainCache is the distance-cache section of an /debug/explain reply.
+type explainCache struct {
+	Hit bool `json:"hit"`
+	// Dist is the cached answer when Hit (same encoding as /query). The
+	// probe is a Peek: it never disturbs LRU order or hit/miss counters,
+	// so explaining a pair does not perturb the cache it is explaining.
+	Dist int64 `json:"dist,omitempty"`
+}
+
+// explainResponse is the /debug/explain reply: the kernel's own account
+// of the lookup plus the serving context around it.
+type explainResponse struct {
+	label.Explain
+	Dist       int64         `json:"dist"` // same encoding as /query (-1 unreachable)
+	Generation uint64        `json:"generation"`
+	Cache      *explainCache `json:"cache,omitempty"`
+	Note       string        `json:"note,omitempty"`
+}
+
+// handleDebugExplain serves GET /debug/explain?s=A&t=B: the same lookup
+// /query answers, but through the instrumented cold-path sibling of the
+// merge kernel — label lengths, hubs probed, galloping vs. linear
+// steps, the meeting hub, and the nanosecond cost, with the cache's
+// view of the pair alongside. The hot kernel is never involved.
+func (s *Server) handleDebugExplain(sn *snapshot, w http.ResponseWriter, r *http.Request) {
+	src, err := vertexParam(sn, r, "s")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dst, err := vertexParam(sn, r, "t")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := explainResponse{
+		Explain:    sn.idx.QueryExplain(src, dst),
+		Generation: sn.gen,
+	}
+	resp.Dist = encodeDist(resp.Explain.Dist)
+	if c, ok := sn.ora.(*qcache.Cached); ok {
+		ec := &explainCache{}
+		if d, hit := c.Peek(src, dst); hit {
+			ec.Hit = true
+			ec.Dist = encodeDist(d)
+		}
+		resp.Cache = ec
+	}
+	if s.Updater() != nil {
+		resp.Note = "living-graph mode: explain reflects the checkpoint index; " +
+			"live queries go through the update pipeline and may differ"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugHealth serves GET /debug/health: every SLO rule's current
+// verdict. 412 until cmd/parapll-server arms the watchdog (-slo-*).
+func (s *Server) handleDebugHealth(w http.ResponseWriter, r *http.Request) {
+	wd := s.watchdog.Load()
+	if wd == nil {
+		writeErr(w, http.StatusPreconditionFailed,
+			errors.New("no watchdog configured (start the server with -slo-window-ms)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, wd.Health())
+}
+
+// handleDebugBundle serves GET /debug/bundle: trigger an on-demand
+// flight capture (never rate-limited — a human asked) and stream the
+// bundle back; the same bytes also land in the on-disk spool. 412 until
+// cmd/parapll-server arms the recorder (-flight).
+func (s *Server) handleDebugBundle(w http.ResponseWriter, r *http.Request) {
+	rec := s.flightRec.Load()
+	if rec == nil {
+		writeErr(w, http.StatusPreconditionFailed,
+			errors.New("no flight recorder configured (start the server with -flight)"))
+		return
+	}
+	path, err := rec.Trigger("http")
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Flight-Bundle", filepath.Base(path))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }

@@ -253,6 +253,9 @@ func TestMethodNotAllowedEverywhere(t *testing.T) {
 		"/stats":         http.MethodPut,
 		"/metrics":       http.MethodPost,
 		"/healthz":       http.MethodPost,
+		"/debug/explain": http.MethodPost,
+		"/debug/health":  http.MethodPost,
+		"/debug/bundle":  http.MethodPost,
 	}
 	for path, method := range cases {
 		if code := do(t, method, ts.URL+path, nil); code != http.StatusMethodNotAllowed {

@@ -35,6 +35,32 @@ type SlowEntry struct {
 	Status int `json:"status"`
 	// DurationUS is the request's wall time in microseconds.
 	DurationUS int64 `json:"duration_us"`
+	// Generation is the snapshot generation the request was served from
+	// (0 when the endpoint never touched a snapshot), so a slow entry can
+	// be correlated with the reload that published the index it ran on.
+	Generation uint64 `json:"generation,omitempty"`
+	// Cache is "hit" or "miss" for distance lookups that consulted the
+	// generation-keyed cache, "" for everything else — a slow *hit* means
+	// the time went to the HTTP layer, a slow miss to the merge kernel.
+	Cache string `json:"cache,omitempty"`
+}
+
+// Cache annotation states carried from handler to middleware.
+const (
+	cacheNone int8 = iota // endpoint does not consult the distance cache
+	cacheMiss
+	cacheHit
+)
+
+func cacheString(c int8) string {
+	switch c {
+	case cacheHit:
+		return "hit"
+	case cacheMiss:
+		return "miss"
+	default:
+		return ""
+	}
 }
 
 // NewSlowLog returns a log holding the most recent `capacity` slow
@@ -64,7 +90,9 @@ func (l *SlowLog) Total() uint64 { return l.total.Load() }
 
 // Observe records the request if it was slow enough. The threshold
 // check is one atomic load, so the fast path costs nothing measurable.
-func (l *SlowLog) Observe(method, path, query string, status int, start time.Time, elapsed time.Duration) {
+// gen and cache are the handler's annotations (0 / cacheNone when the
+// endpoint has none).
+func (l *SlowLog) Observe(method, path, query string, status int, gen uint64, cache int8, start time.Time, elapsed time.Duration) {
 	th := l.thresholdNs.Load()
 	if th <= 0 || elapsed.Nanoseconds() < th {
 		return
@@ -77,6 +105,8 @@ func (l *SlowLog) Observe(method, path, query string, status int, start time.Tim
 		Query:      query,
 		Status:     status,
 		DurationUS: elapsed.Microseconds(),
+		Generation: gen,
+		Cache:      cacheString(cache),
 	}
 	l.mu.Lock()
 	l.ring[l.next] = e

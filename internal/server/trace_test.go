@@ -19,7 +19,7 @@ func TestSlowLogBoundsAndOrdering(t *testing.T) {
 	l := NewSlowLog(4, time.Millisecond)
 	base := time.Unix(1000, 0)
 	for i := 0; i < 10; i++ {
-		l.Observe("GET", "/query", "", 200, base.Add(time.Duration(i)*time.Second), 2*time.Millisecond)
+		l.Observe("GET", "/query", "", 200, 7, cacheHit, base.Add(time.Duration(i)*time.Second), 2*time.Millisecond)
 	}
 	if l.Total() != 10 {
 		t.Fatalf("Total = %d, want 10", l.Total())
@@ -33,23 +33,31 @@ func TestSlowLogBoundsAndOrdering(t *testing.T) {
 		if !e.Time.Equal(want) {
 			t.Fatalf("entry %d time = %v, want %v (newest first)", i, e.Time, want)
 		}
+		if e.Generation != 7 || e.Cache != "hit" {
+			t.Fatalf("entry %d annotations = gen %d cache %q, want gen 7 cache hit", i, e.Generation, e.Cache)
+		}
 	}
 	// Fast requests are ignored.
-	l.Observe("GET", "/query", "", 200, base, 500*time.Microsecond)
+	l.Observe("GET", "/query", "", 200, 7, cacheMiss, base, 500*time.Microsecond)
 	if l.Total() != 10 {
 		t.Fatal("fast request was logged")
 	}
 	// Threshold 0 disables logging entirely.
 	l.SetThreshold(0)
-	l.Observe("GET", "/query", "", 200, base, time.Hour)
+	l.Observe("GET", "/query", "", 200, 7, cacheMiss, base, time.Hour)
 	if l.Total() != 10 {
 		t.Fatal("disabled log still recorded")
 	}
 	// Tightening the threshold at runtime takes effect immediately.
 	l.SetThreshold(time.Microsecond)
-	l.Observe("POST", "/batch", "", 200, base, 2*time.Microsecond)
-	if l.Total() != 11 || l.Entries()[0].Method != "POST" {
-		t.Fatalf("runtime threshold change not applied: total %d, head %+v", l.Total(), l.Entries()[0])
+	l.Observe("POST", "/batch", "", 200, 8, cacheNone, base, 2*time.Microsecond)
+	head := l.Entries()[0]
+	if l.Total() != 11 || head.Method != "POST" {
+		t.Fatalf("runtime threshold change not applied: total %d, head %+v", l.Total(), head)
+	}
+	// Un-annotated endpoints serialize no cache field at all.
+	if head.Cache != "" || head.Generation != 8 {
+		t.Fatalf("cacheNone entry = gen %d cache %q, want gen 8 cache \"\"", head.Generation, head.Cache)
 	}
 }
 
@@ -191,7 +199,9 @@ func TestDebugTraceEndpoint(t *testing.T) {
 	tr := trace.New(0, 1<<12) // disabled: /debug/trace must enable and restore
 	g.srv.SetTracer(tr)
 
-	for _, bad := range []string{"0", "-1", "61", "x"} {
+	// "nan" is the trap case: ParseFloat accepts it and NaN slips past a
+	// naive `v <= 0` check into an unbounded capture sleep.
+	for _, bad := range []string{"0", "-1", "61", "x", "nan", "NaN", "-nan"} {
 		if code := getJSON(t, g.ts.URL+"/debug/trace?sec="+bad, new(map[string]string)); code != 400 {
 			t.Fatalf("sec=%s status %d, want 400", bad, code)
 		}

@@ -1,0 +1,49 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyncObserver: the fsync-latency callback fires once per
+// successful Append with a sane duration, and removing it stops the
+// callbacks.
+func TestSyncObserver(t *testing.T) {
+	l, _ := openEmpty(t)
+	defer l.Close()
+
+	var calls int
+	var last time.Duration
+	l.SetSyncObserver(func(d time.Duration) {
+		calls++
+		last = d
+	})
+	if err := l.Append(0, 1, 7); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Append(1, 2, 3); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("observer fired %d times, want 2", calls)
+	}
+	if last < 0 {
+		t.Fatalf("observed negative fsync duration %v", last)
+	}
+
+	// A rejected append never reaches the fsync, so no callback.
+	if err := l.Append(5, 5, 1); err == nil {
+		t.Fatal("self-loop append succeeded")
+	}
+	if calls != 2 {
+		t.Fatalf("observer fired on a rejected append (calls=%d)", calls)
+	}
+
+	l.SetSyncObserver(nil)
+	if err := l.Append(2, 3, 9); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("observer fired after removal (calls=%d)", calls)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"parapll/internal/fileio"
 	"parapll/internal/graph"
@@ -137,6 +138,22 @@ type Log struct {
 	f     *os.File
 	ups   []Update
 	bytes int64
+
+	// syncObs, when set, is called with the duration of each successful
+	// Append fsync — the living-graph pipeline's durability latency, and
+	// the signal the anomaly watchdog turns into a WAL-fsync SLO. Set
+	// under mu (SetSyncObserver) and read under mu (Append), so no
+	// atomics are needed.
+	syncObs func(elapsed time.Duration)
+}
+
+// SetSyncObserver installs (or, with nil, removes) the per-Append fsync
+// latency callback. The observer runs inside Append's critical section
+// and must be cheap and non-blocking — a histogram Observe, not I/O.
+func (l *Log) SetSyncObserver(f func(elapsed time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncObs = f
 }
 
 // Open opens (or creates) the log at path and replays it. Any torn or
@@ -228,8 +245,12 @@ func (l *Log) Append(u, v graph.Vertex, w graph.Dist) error {
 	if _, err := l.f.Write(rec[:]); err != nil {
 		return fmt.Errorf("wal: appending to %s: %w", l.path, err)
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync of %s: %w", l.path, err)
+	}
+	if l.syncObs != nil {
+		l.syncObs(time.Since(t0))
 	}
 	l.ups = append(l.ups, Update{U: u, V: v, W: w})
 	l.bytes += RecordSize

@@ -57,6 +57,9 @@ type (
 	// Index is a finalized 2-hop-cover label index answering exact
 	// distance queries.
 	Index = label.Index
+	// Explain is the cost-attribution record Index.QueryExplain returns:
+	// the same answer as Query, plus where the merge's work went.
+	Explain = label.Explain
 	// PathIndex is a path-augmented index that also reconstructs the
 	// shortest path itself (see BuildPathIndex).
 	PathIndex = pathidx.Index

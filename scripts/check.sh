@@ -61,6 +61,15 @@ go test -fuzz=FuzzWALReplay -fuzztime="$FUZZTIME" -run '^$' ./internal/wal/
 echo "== crash-recovery e2e (serve -> update -> kill -9 -> replay -> compact)"
 go test -run TestCrashRecoveryE2E -count=1 .
 
+# Flight-recorder smoke: the diagnostics loop end to end through the
+# real binaries — serve with -flight and a 1us query-p99 SLO, drive
+# traffic until the watchdog breaches, and require the auto-captured
+# bundle to pass `parapll-trace check`. With PARAPLL_E2E_ARTIFACTS set
+# (CI sets it), the spool lands there so a red run's bundles survive as
+# build artifacts.
+echo "== flight-recorder e2e (serve -> forced SLO breach -> bundle -> parapll-trace check)"
+go test -run TestFlightBreachE2E -count=1 .
+
 # Cross-compile smoke: the mmap open path is split by build tags
 # (//go:build unix vs the pure-read fallback), so compile the tree for a
 # non-linux unix, for windows (the fallback) and for another
